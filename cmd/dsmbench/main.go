@@ -1,0 +1,239 @@
+// Command dsmbench regenerates every table and figure of the paper's
+// evaluation (Section 4), printing the paper's numbers next to the measured
+// ones.
+//
+//	dsmbench -exp all        # everything
+//	dsmbench -exp table3     # read fault, page-migration policy
+//	dsmbench -exp table4     # read fault, thread-migration policy
+//	dsmbench -exp fig4       # TSP protocol comparison
+//	dsmbench -exp fig5       # Java consistency comparison
+//	dsmbench -exp rpc        # null RPC micro-latency (Section 2.1)
+//	dsmbench -exp migration  # thread migration micro-latency (Section 2.1)
+//	dsmbench -exp protocols  # the built-in protocol registry (Table 2)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"dsmpm2"
+	"dsmpm2/internal/apps/mapcolor"
+	"dsmpm2/internal/apps/tsp"
+	"dsmpm2/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all,rpc,migration,table3,table4,fig4,fig5,protocols")
+	cities := flag.Int("cities", 11, "TSP cities for fig4 (paper: 14)")
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	any := false
+	if run("protocols") {
+		any = true
+		protocolsTable()
+	}
+	if run("rpc") {
+		any = true
+		rpcTable()
+	}
+	if run("migration") {
+		any = true
+		migrationTable()
+	}
+	if run("table3") {
+		any = true
+		table3()
+	}
+	if run("table4") {
+		any = true
+		table4()
+	}
+	if run("fig4") {
+		any = true
+		figure4(*cities)
+	}
+	if run("fig4detail") {
+		any = true
+		figure4Detail(*cities)
+	}
+	if run("fig5") {
+		any = true
+		figure5()
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func protocolsTable() {
+	header("Table 2: built-in consistency protocols")
+	sys := dsmpm2.MustNew(dsmpm2.Config{Nodes: 1})
+	fmt.Printf("%-16s\n", "protocol")
+	for _, name := range sys.ProtocolNames() {
+		fmt.Printf("%-16s\n", name)
+	}
+}
+
+func rpcTable() {
+	header("Section 2.1: null RPC latency (us)")
+	fmt.Printf("%-20s %10s %10s\n", "network", "paper", "measured")
+	paper := map[string]string{"BIP/Myrinet": "8", "SISCI/SCI": "6", "TCP/Myrinet": "-", "TCP/Fast Ethernet": "-"}
+	for _, prof := range dsmpm2.Networks {
+		us := bench.NullRPC(prof)
+		fmt.Printf("%-20s %10s %10.0f\n", prof.Name, paper[prof.Name], us)
+	}
+}
+
+func migrationTable() {
+	header("Section 2.1: minimal-thread migration latency (us)")
+	fmt.Printf("%-20s %10s %10s\n", "network", "paper", "measured")
+	paper := map[string]string{"BIP/Myrinet": "75", "SISCI/SCI": "62", "TCP/Myrinet": "280", "TCP/Fast Ethernet": "373"}
+	for _, prof := range dsmpm2.Networks {
+		us := bench.Migration(prof)
+		fmt.Printf("%-20s %10s %10.0f\n", prof.Name, paper[prof.Name], us)
+	}
+}
+
+func table3() {
+	header("Table 3: read fault, page-migration policy (us)")
+	paper := map[string][5]int{
+		"BIP/Myrinet":       {11, 23, 138, 26, 198},
+		"TCP/Myrinet":       {11, 220, 343, 26, 600},
+		"TCP/Fast Ethernet": {11, 220, 736, 26, 993},
+		"SISCI/SCI":         {11, 38, 119, 26, 194},
+	}
+	fmt.Printf("%-20s %22s %22s %22s %22s %22s\n",
+		"network", "page fault", "request page", "page transfer", "proto overhead", "total")
+	for _, prof := range dsmpm2.Networks {
+		ft := bench.ReadFaultPage(prof)
+		p := paper[prof.Name]
+		cell := func(paperV int, got float64) string {
+			return fmt.Sprintf("%d / %.0f", paperV, got)
+		}
+		fmt.Printf("%-20s %22s %22s %22s %22s %22s\n", prof.Name,
+			cell(p[0], ft.Detect.Microseconds()),
+			cell(p[1], ft.Request.Microseconds()),
+			cell(p[2], ft.Transfer.Microseconds()),
+			cell(p[3], ft.ProtocolOverhead().Microseconds()),
+			cell(p[4], ft.Total.Microseconds()))
+	}
+	fmt.Println("(cells are paper / measured)")
+}
+
+func table4() {
+	header("Table 4: read fault, thread-migration policy (us)")
+	paper := map[string][4]int{
+		"BIP/Myrinet":       {11, 75, 1, 87},
+		"TCP/Myrinet":       {11, 280, 1, 292},
+		"TCP/Fast Ethernet": {11, 373, 1, 385},
+		"SISCI/SCI":         {11, 62, 1, 74},
+	}
+	fmt.Printf("%-20s %22s %22s %22s %22s\n",
+		"network", "page fault", "thread migration", "proto overhead", "total")
+	for _, prof := range dsmpm2.Networks {
+		ft := bench.ReadFaultMigrate(prof)
+		p := paper[prof.Name]
+		cell := func(paperV int, got float64) string {
+			return fmt.Sprintf("%d / %.0f", paperV, got)
+		}
+		fmt.Printf("%-20s %22s %22s %22s %22s\n", prof.Name,
+			cell(p[0], ft.Detect.Microseconds()),
+			cell(p[1], ft.Migration.Microseconds()),
+			cell(p[2], ft.Overhead.Microseconds()),
+			cell(p[3], ft.Total.Microseconds()))
+	}
+	fmt.Println("(cells are paper / measured)")
+}
+
+func figure4(cities int) {
+	header(fmt.Sprintf("Figure 4: TSP (%d cities, random distances), BIP/Myrinet", cities))
+	serial := tsp.SolveSerial(tsp.Distances(cities, 42))
+	fmt.Printf("serial optimum: %d\n", serial)
+	fmt.Printf("%-16s", "protocol")
+	nodeCounts := []int{1, 2, 4, 8}
+	for _, n := range nodeCounts {
+		fmt.Printf(" %13s", fmt.Sprintf("%d node(ms)", n))
+	}
+	fmt.Println()
+	for _, proto := range []string{"li_hudak", "erc_sw", "hbrc_mw", "migrate_thread"} {
+		fmt.Printf("%-16s", proto)
+		for _, n := range nodeCounts {
+			res, err := tsp.Run(tsp.Config{
+				Cities: cities, Seed: 42, Nodes: n,
+				Network: dsmpm2.BIPMyrinet, Protocol: proto,
+			})
+			if err != nil {
+				log.Fatalf("[%s/%d] %v", proto, n, err)
+			}
+			if res.BestCost != serial {
+				log.Fatalf("[%s/%d] wrong optimum %d", proto, n, res.BestCost)
+			}
+			fmt.Printf(" %13.2f", float64(res.Elapsed)/1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println("expected shape: page-based protocols beat migrate_thread (owner overload)")
+}
+
+// figure4Detail explains Figure 4's shape: per-node CPU occupancy and
+// migration counts for the page-based winner vs migrate_thread.
+func figure4Detail(cities int) {
+	header("Figure 4 detail: why migrate_thread loses (4 nodes)")
+	for _, proto := range []string{"li_hudak", "migrate_thread"} {
+		res, err := tsp.Run(tsp.Config{
+			Cities: cities, Seed: 42, Nodes: 4,
+			Network: dsmpm2.BIPMyrinet, Protocol: proto,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt := res.System.Runtime()
+		fmt.Printf("\n%s (run time %.2f ms):\n", proto, float64(res.Elapsed)/1e6)
+		fmt.Printf("  %6s %14s %12s %12s\n", "node", "cpu busy(ms)", "migr. in", "faults")
+		for n := 0; n < 4; n++ {
+			fmt.Printf("  %6d %14.2f %12d %12d\n",
+				n, res.System.Runtime().Node(n).CPU.Busy().Microseconds()/1000,
+				rt.Node(n).MigrationsIn, res.System.DSM().FaultsOn(n))
+		}
+	}
+	fmt.Println("\nUnder migrate_thread, every thread that touches the shared bound")
+	fmt.Println("migrates to node 0 and stays: node 0's CPU does nearly all the work.")
+}
+
+func figure5() {
+	header("Figure 5: map coloring (29 eastern US states, 4 weighted colors), SISCI/SCI, 4 nodes")
+	serial := mapcolor.SolveSerial()
+	fmt.Printf("serial optimum: %d\n", serial)
+	fmt.Printf("%-10s", "protocol")
+	threads := []int{1, 2, 4}
+	for _, th := range threads {
+		fmt.Printf(" %16s", fmt.Sprintf("%d thr/node(ms)", th))
+	}
+	fmt.Println()
+	for _, proto := range []string{"java_ic", "java_pf"} {
+		fmt.Printf("%-10s", proto)
+		for _, th := range threads {
+			res, err := mapcolor.Run(mapcolor.Config{
+				Nodes: 4, ThreadsPerNode: th,
+				Network: dsmpm2.SISCISCI, Protocol: proto, Seed: 7,
+			})
+			if err != nil {
+				log.Fatalf("[%s/%d] %v", proto, th, err)
+			}
+			if res.BestCost != serial {
+				log.Fatalf("[%s/%d] wrong optimum %d", proto, th, res.BestCost)
+			}
+			fmt.Printf(" %16.2f", float64(res.Elapsed)/1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println("expected shape: java_pf outperforms java_ic (page faults beat inline checks)")
+}

@@ -1,0 +1,67 @@
+// Command dsmtrace is the post-mortem analyzer for DSM-PM2 trace logs
+// (Section 4: "very precise post-mortem monitoring tools ... providing the
+// user with valuable information on the time spent within each elementary
+// function").
+//
+// Generate a trace by running a System with Config.Trace set and writing
+// sys.Trace() with WriteJSON, then:
+//
+//	dsmtrace run.trace.json
+//
+// With -demo, dsmtrace runs a short TSP instance itself and analyzes it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"dsmpm2/internal/apps/tsp"
+	"dsmpm2/internal/trace"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "trace a short built-in TSP run instead of reading a file")
+	flag.Parse()
+
+	var lg *trace.Log
+	switch {
+	case *demo:
+		res, err := tsp.Run(tsp.Config{Cities: 8, Seed: 1, Nodes: 2, Protocol: "li_hudak", Trace: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lg = res.System.Trace()
+		fmt.Printf("traced a 8-city TSP run on 2 nodes (best tour %d)\n\n", res.BestCost)
+	case flag.NArg() == 1:
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		lg, err = trace.ReadJSON(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: dsmtrace <trace.json> | dsmtrace -demo")
+		os.Exit(2)
+	}
+
+	fmt.Printf("spans recorded: %d\n\n", lg.Len())
+	fmt.Println("time per elementary function:")
+	trace.FormatBreakdown(lg.Breakdown(), os.Stdout)
+
+	fmt.Println("\ntraced time per node:")
+	perNode := lg.PerNode()
+	nodes := make([]int, 0, len(perNode))
+	for n := range perNode {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
+	for _, n := range nodes {
+		fmt.Printf("node %d: %12.1f us\n", n, perNode[n].Microseconds())
+	}
+}

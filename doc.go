@@ -1,0 +1,42 @@
+// Package dsmpm2 is a Go reproduction of DSM-PM2, the portable
+// implementation platform for multithreaded DSM consistency protocols of
+// Antoniu and Bougé (IPDPS/HIPS 2001, INRIA RR-4108).
+//
+// DSM-PM2 provides the illusion of a common address space shared by all
+// threads of a distributed multithreaded application, and — its real point —
+// a generic toolbox on which consistency protocols are built out of 8 small
+// routines (read/write fault handlers, read/write servers, invalidate and
+// receive-page servers, lock acquire/release actions). The paper's six
+// protocols ship built in, spanning sequential consistency (li_hudak,
+// migrate_thread), release consistency (erc_sw, hbrc_mw) and Java
+// consistency (java_ic, java_pf); this reproduction adds the hybrid and
+// adaptive protocols the paper sketches in Section 2.3, the fixed and
+// centralized Li & Hudak manager variants its page manager was designed for
+// (li_fixed, li_central), and Midway-style entry consistency (entry_mw).
+//
+// The original system runs on Linux clusters and detects shared accesses
+// with mprotect; this reproduction runs the whole platform — PM2 threads,
+// the Madeleine communication library, RPC, iso-address allocation, thread
+// migration and the DSM core — on a deterministic discrete-event simulator
+// whose network profiles are calibrated to the paper's measured latencies
+// (BIP/Myrinet, TCP/Myrinet, TCP/Fast Ethernet, SISCI/SCI). See DESIGN.md
+// for the substitution argument and EXPERIMENTS.md for paper-vs-measured
+// results.
+//
+// # Quick start
+//
+// Mirroring the paper's Figure 2 (selecting a built-in protocol and sharing
+// an integer):
+//
+//	sys, _ := dsmpm2.New(dsmpm2.Config{Nodes: 4, Protocol: "li_hudak"})
+//	x := sys.MustMalloc(0, 8, nil)
+//	lock := sys.NewLock(0)
+//	for n := 0; n < 4; n++ {
+//		sys.Spawn(n, "worker", func(t *dsmpm2.Thread) {
+//			t.Acquire(lock)
+//			t.WriteUint64(x, t.ReadUint64(x)+1)
+//			t.Release(lock)
+//		})
+//	}
+//	sys.Run()
+package dsmpm2

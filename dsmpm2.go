@@ -1,0 +1,234 @@
+package dsmpm2
+
+import (
+	"fmt"
+
+	"dsmpm2/internal/core"
+	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/pm2"
+	"dsmpm2/internal/protocols"
+	"dsmpm2/internal/sim"
+	"dsmpm2/internal/trace"
+)
+
+// Re-exported building blocks, so applications need only this package.
+type (
+	// Addr is a shared virtual address.
+	Addr = core.Addr
+	// Page identifies a shared page.
+	Page = core.Page
+	// ProtoID identifies a registered protocol.
+	ProtoID = core.ProtoID
+	// Attr carries per-allocation attributes (protocol, home node).
+	Attr = core.Attr
+	// ObjRef references a shared object.
+	ObjRef = core.ObjRef
+	// Stats aggregates DSM activity counters.
+	Stats = core.Stats
+	// FaultTiming decomposes a fault like the paper's Tables 3 and 4.
+	FaultTiming = core.FaultTiming
+	// NetworkProfile is a calibrated interconnect cost model.
+	NetworkProfile = madeleine.Profile
+	// Time is virtual time.
+	Time = sim.Time
+	// Duration is virtual duration.
+	Duration = sim.Duration
+)
+
+// The four cluster networks evaluated in the paper.
+var (
+	BIPMyrinet      = madeleine.BIPMyrinet
+	TCPMyrinet      = madeleine.TCPMyrinet
+	TCPFastEthernet = madeleine.TCPFastEthernet
+	SISCISCI        = madeleine.SISCISCI
+	Networks        = madeleine.Profiles
+)
+
+// Duration units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// PageSize is the shared page size (4 KiB, as in the paper's measurements).
+const PageSize = core.PageSize
+
+// Config describes a simulated DSM-PM2 cluster.
+type Config struct {
+	// Nodes is the number of cluster nodes (default 2).
+	Nodes int
+	// CPUsPerNode models processors per node (default 1, like the
+	// paper's Pentium II nodes).
+	CPUsPerNode int
+	// Network selects the interconnect cost profile (default BIPMyrinet).
+	Network *NetworkProfile
+	// Protocol names the default consistency protocol (default
+	// "li_hudak"); see ProtocolNames for the list.
+	Protocol string
+	// Seed drives the deterministic simulation (default 1).
+	Seed int64
+	// Trace enables post-mortem span recording.
+	Trace bool
+}
+
+// System is a running DSM-PM2 platform instance: a PM2 machine, a DSM with
+// all built-in protocols registered, and (optionally) a trace log.
+type System struct {
+	rt  *pm2.Runtime
+	dsm *core.DSM
+	ids protocols.IDs
+	tr  *trace.Log
+}
+
+// New builds a System from cfg.
+func New(cfg Config) (*System, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 2
+	}
+	if cfg.Nodes < 1 {
+		return nil, fmt.Errorf("dsmpm2: invalid node count %d", cfg.Nodes)
+	}
+	if cfg.Network == nil {
+		cfg.Network = BIPMyrinet
+	}
+	if cfg.Protocol == "" {
+		cfg.Protocol = "li_hudak"
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	rt := pm2.NewRuntime(pm2.Config{
+		Nodes:       cfg.Nodes,
+		CPUsPerNode: cfg.CPUsPerNode,
+		Network:     cfg.Network,
+		Seed:        cfg.Seed,
+	})
+	reg, ids := protocols.NewRegistry()
+	d := core.New(rt, reg, core.DefaultCosts())
+	s := &System{rt: rt, dsm: d, ids: ids}
+	if cfg.Trace {
+		s.tr = trace.NewLog()
+	}
+	if err := s.SetDefaultProtocol(cfg.Protocol); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustNew is New panicking on error.
+func MustNew(cfg Config) *System {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ProtocolNames lists the registered protocol names.
+func (s *System) ProtocolNames() []string { return s.dsm.Registry().Names() }
+
+// Protocol resolves a protocol name to its id.
+func (s *System) Protocol(name string) (ProtoID, bool) {
+	return s.dsm.Registry().Lookup(name)
+}
+
+// SetDefaultProtocol selects the protocol used by allocations without an
+// explicit attribute (pm2_dsm_set_default_protocol).
+func (s *System) SetDefaultProtocol(name string) error {
+	id, ok := s.Protocol(name)
+	if !ok {
+		return fmt.Errorf("dsmpm2: unknown protocol %q (have %v)", name, s.ProtocolNames())
+	}
+	s.dsm.SetDefaultProtocol(id)
+	return nil
+}
+
+// CreateProtocol registers a user-defined protocol built from 8 hook
+// routines and returns its id (dsm_create_protocol).
+func (s *System) CreateProtocol(h *core.Hooks) ProtoID { return s.dsm.CreateProtocol(h) }
+
+// Malloc allocates shared memory on node (dsm_malloc). attr selects the
+// managing protocol and home; nil uses the defaults.
+func (s *System) Malloc(node, size int, attr *Attr) (Addr, error) {
+	return s.dsm.Malloc(node, size, attr)
+}
+
+// MustMalloc is Malloc panicking on error.
+func (s *System) MustMalloc(node, size int, attr *Attr) Addr {
+	return s.dsm.MustMalloc(node, size, attr)
+}
+
+// NewObject allocates a shared object of nFields 8-byte fields homed on
+// node, managed by protocol proto (-1 = default).
+func (s *System) NewObject(node, nFields int, proto ProtoID) (ObjRef, error) {
+	return s.dsm.NewObject(node, nFields, proto)
+}
+
+// MustNewObject is NewObject panicking on error.
+func (s *System) MustNewObject(node, nFields int, proto ProtoID) ObjRef {
+	return s.dsm.MustNewObject(node, nFields, proto)
+}
+
+// NewLock creates a cluster-wide lock managed by node home.
+func (s *System) NewLock(home int) int { return s.dsm.NewLock(home) }
+
+// NewBarrier creates a cluster-wide barrier for n participants.
+func (s *System) NewBarrier(n int) int { return s.dsm.NewBarrier(n) }
+
+// NewCond creates a cluster-wide condition variable tied to a DSM lock.
+func (s *System) NewCond(lock int) int { return s.dsm.NewCond(lock) }
+
+// BindLock associates a shared area with a lock for entry-consistency
+// protocols (entry_mw): the area is kept consistent only across
+// acquire/release of that lock.
+func (s *System) BindLock(lock int, base Addr, size int) { s.dsm.BindLock(lock, base, size) }
+
+// Spawn starts fn in a new application thread on node.
+func (s *System) Spawn(node int, name string, fn func(t *Thread)) *Thread {
+	var wrapped *Thread
+	th := s.rt.CreateThread(node, name, func(inner *pm2.Thread) {
+		fn(wrapped)
+	})
+	wrapped = &Thread{sys: s, th: th}
+	return wrapped
+}
+
+// SpawnStack is Spawn with an explicit stack size (drives migration cost).
+func (s *System) SpawnStack(node int, name string, stack int, fn func(t *Thread)) *Thread {
+	var wrapped *Thread
+	th := s.rt.CreateThreadStack(node, name, stack, func(inner *pm2.Thread) {
+		fn(wrapped)
+	})
+	wrapped = &Thread{sys: s, th: th}
+	return wrapped
+}
+
+// Run drives the simulation until all application threads finish. It
+// returns an error if the system deadlocks.
+func (s *System) Run() error { return s.rt.Run() }
+
+// Now returns the current virtual time.
+func (s *System) Now() Time { return s.rt.Now() }
+
+// Stats returns the DSM activity counters.
+func (s *System) Stats() Stats { return s.dsm.Stats() }
+
+// Timings exposes the recorded fault timings (Tables 3/4 style records).
+func (s *System) Timings() *core.TimingLog { return s.dsm.Timings() }
+
+// Trace returns the post-mortem span log (nil unless Config.Trace was set).
+func (s *System) Trace() *trace.Log { return s.tr }
+
+// Nodes reports the cluster size.
+func (s *System) Nodes() int { return s.rt.Nodes() }
+
+// Network returns the interconnect profile in use.
+func (s *System) Network() *NetworkProfile { return s.rt.Profile() }
+
+// DSM exposes the underlying core instance for advanced use (tests, tools).
+func (s *System) DSM() *core.DSM { return s.dsm }
+
+// Runtime exposes the underlying PM2 machine for advanced use.
+func (s *System) Runtime() *pm2.Runtime { return s.rt }

@@ -1,0 +1,158 @@
+package dsmpm2_test
+
+import (
+	"testing"
+
+	"dsmpm2"
+)
+
+func TestFacadeConditionVariables(t *testing.T) {
+	sys := dsmpm2.MustNew(dsmpm2.Config{Nodes: 2, Protocol: "li_hudak"})
+	flag := sys.MustMalloc(0, 8, nil)
+	lock := sys.NewLock(0)
+	cond := sys.NewCond(lock)
+	var got uint64
+	sys.Spawn(1, "waiter", func(th *dsmpm2.Thread) {
+		th.Acquire(lock)
+		for th.ReadUint64(flag) == 0 {
+			th.CondWait(cond)
+		}
+		got = th.ReadUint64(flag)
+		th.Release(lock)
+	})
+	sys.Spawn(0, "setter", func(th *dsmpm2.Thread) {
+		th.Sleep(5 * dsmpm2.Millisecond)
+		th.Acquire(lock)
+		th.WriteUint64(flag, 9)
+		th.CondBroadcast(cond)
+		th.Release(lock)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Fatalf("waiter saw %d, want 9", got)
+	}
+}
+
+func TestFacadeEntryConsistency(t *testing.T) {
+	sys := dsmpm2.MustNew(dsmpm2.Config{Nodes: 3, Protocol: "entry_mw"})
+	area := sys.MustMalloc(0, 8, nil)
+	lock := sys.NewLock(0)
+	sys.BindLock(lock, area, 8)
+	for n := 0; n < 3; n++ {
+		sys.Spawn(n, "w", func(th *dsmpm2.Thread) {
+			for i := 0; i < 5; i++ {
+				th.Acquire(lock)
+				th.WriteUint64(area, th.ReadUint64(area)+1)
+				th.Release(lock)
+			}
+		})
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	sys.Spawn(2, "r", func(th *dsmpm2.Thread) {
+		th.Acquire(lock)
+		got = th.ReadUint64(area)
+		th.Release(lock)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 15 {
+		t.Fatalf("entry-consistent counter = %d, want 15", got)
+	}
+}
+
+func TestFacadeSwitchProtocol(t *testing.T) {
+	sys := dsmpm2.MustNew(dsmpm2.Config{Nodes: 2, Protocol: "li_hudak"})
+	area := sys.MustMalloc(0, 8, nil)
+	lock := sys.NewLock(0)
+	sys.Spawn(0, "switcher", func(th *dsmpm2.Thread) {
+		th.Acquire(lock)
+		th.WriteUint64(area, 5)
+		th.Release(lock)
+		if err := th.SwitchProtocol(area, 8, "hbrc_mw"); err != nil {
+			t.Errorf("switch: %v", err)
+		}
+		if err := th.SwitchProtocol(area, 8, "no_such_proto"); err == nil {
+			t.Error("unknown protocol accepted")
+		}
+		th.Acquire(lock)
+		th.WriteUint64(area, th.ReadUint64(area)+1)
+		th.Release(lock)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	sys.Spawn(1, "r", func(th *dsmpm2.Thread) {
+		th.Acquire(lock)
+		got = th.ReadUint64(area)
+		th.Release(lock)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 6 {
+		t.Fatalf("value after switch = %d, want 6", got)
+	}
+}
+
+func TestFacadeLoadBalancerIntegration(t *testing.T) {
+	sys := dsmpm2.MustNew(dsmpm2.Config{Nodes: 4})
+	var workers []*dsmpm2.Thread
+	for i := 0; i < 8; i++ {
+		w := sys.Spawn(0, "w", func(th *dsmpm2.Thread) {
+			for c := 0; c < 20; c++ {
+				th.Compute(dsmpm2.Millisecond)
+			}
+		})
+		w.PM2().SetMigratable(true)
+		workers = append(workers, w)
+	}
+	b := sys.Runtime().StartBalancer(500 * dsmpm2.Microsecond)
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Moves == 0 {
+		t.Fatal("balancer idle on an 8:0:0:0 load")
+	}
+	spread := map[int]bool{}
+	for _, w := range workers {
+		spread[w.Node()] = true
+	}
+	if len(spread) < 3 {
+		t.Fatalf("workers ended on %d nodes only", len(spread))
+	}
+}
+
+func TestAppDeterministicReplay(t *testing.T) {
+	run := func() (int64, int64) {
+		sys := dsmpm2.MustNew(dsmpm2.Config{Nodes: 3, Protocol: "hbrc_mw", Seed: 99})
+		base := sys.MustMalloc(0, 64, nil)
+		lock := sys.NewLock(0)
+		for n := 0; n < 3; n++ {
+			sys.Spawn(n, "w", func(th *dsmpm2.Thread) {
+				for i := 0; i < 15; i++ {
+					th.Acquire(lock)
+					a := base + dsmpm2.Addr(8*(i%8))
+					th.WriteUint64(a, th.ReadUint64(a)+1)
+					th.Release(lock)
+				}
+			})
+		}
+		if err := sys.Run(); err != nil {
+			t.Fatal(err)
+		}
+		st := sys.Stats()
+		return int64(sys.Now()), st.PageSends + st.DiffsSent
+	}
+	t1, m1 := run()
+	t2, m2 := run()
+	if t1 != t2 || m1 != m2 {
+		t.Fatalf("replay diverged: (%d,%d) vs (%d,%d)", t1, m1, t2, m2)
+	}
+}

@@ -1,0 +1,199 @@
+// Package jacobi implements a barrier-phased Jacobi stencil kernel in the
+// SPLASH-2 style — the application class the paper names as the next step of
+// its evaluation (Section 5). Each node owns a block of rows homed on it;
+// every iteration reads the neighbouring blocks' boundary rows and writes
+// its own block, with a cluster-wide barrier between iterations.
+//
+// The sharing pattern (mostly-local writes, narrow read sharing at block
+// boundaries) is where home-based release consistency (hbrc_mw) shines
+// against sequential consistency's page ping-pong, making this the natural
+// ablation workload for the protocol comparison.
+package jacobi
+
+import (
+	"fmt"
+	"math"
+
+	"dsmpm2"
+)
+
+// Config parameterizes a run.
+type Config struct {
+	// N is the grid dimension (N x N interior points plus fixed borders).
+	N int
+	// Iterations is the number of Jacobi sweeps.
+	Iterations int
+	// Nodes is the cluster size; rows are block-partitioned over nodes.
+	Nodes int
+	// Network selects the interconnect.
+	Network *dsmpm2.NetworkProfile
+	// Protocol is the consistency protocol under test.
+	Protocol string
+	// Seed drives the simulation.
+	Seed int64
+	// CellCost is the CPU cost charged per cell update.
+	CellCost dsmpm2.Duration
+}
+
+// Result reports a run's outcome.
+type Result struct {
+	Checksum float64
+	Elapsed  dsmpm2.Time
+	Stats    dsmpm2.Stats
+}
+
+// boundary returns the fixed boundary value for grid edge cells.
+func boundary(i, j, n int) float64 {
+	if i == 0 {
+		return 100 // hot top edge
+	}
+	if i == n+1 || j == 0 || j == n+1 {
+		return 0
+	}
+	return 0
+}
+
+// SolveSerial runs the same computation in plain Go and returns the
+// checksum, as the reference for correctness tests.
+func SolveSerial(n, iterations int) float64 {
+	cur := makeGrid(n)
+	next := makeGrid(n)
+	for it := 0; it < iterations; it++ {
+		for i := 1; i <= n; i++ {
+			for j := 1; j <= n; j++ {
+				next[i][j] = 0.25 * (cur[i-1][j] + cur[i+1][j] + cur[i][j-1] + cur[i][j+1])
+			}
+		}
+		cur, next = next, cur
+	}
+	return checksum(cur, n)
+}
+
+func makeGrid(n int) [][]float64 {
+	g := make([][]float64, n+2)
+	for i := range g {
+		g[i] = make([]float64, n+2)
+		for j := range g[i] {
+			g[i][j] = boundary(i, j, n)
+		}
+	}
+	return g
+}
+
+func checksum(g [][]float64, n int) float64 {
+	sum := 0.0
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= n; j++ {
+			sum += g[i][j]
+		}
+	}
+	return sum
+}
+
+// Run executes the distributed kernel and returns the result.
+func Run(cfg Config) (Result, error) {
+	if cfg.N < 2 || cfg.Nodes < 1 || cfg.Iterations < 1 {
+		return Result{}, fmt.Errorf("jacobi: invalid config %+v", cfg)
+	}
+	if cfg.CellCost == 0 {
+		cfg.CellCost = 100 // 0.1us per cell
+	}
+	sys, err := dsmpm2.New(dsmpm2.Config{
+		Nodes:    cfg.Nodes,
+		Network:  cfg.Network,
+		Protocol: cfg.Protocol,
+		Seed:     cfg.Seed,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	n := cfg.N
+	rowBytes := (n + 2) * 8
+
+	// Two grids, each distributed row-block by row-block so every block is
+	// homed on the node that writes it.
+	grids := [2][]dsmpm2.Addr{make([]dsmpm2.Addr, n+2), make([]dsmpm2.Addr, n+2)}
+	ownerOf := func(row int) int {
+		if row == 0 {
+			return 0
+		}
+		if row == n+1 {
+			return cfg.Nodes - 1
+		}
+		return (row - 1) * cfg.Nodes / n
+	}
+	for g := 0; g < 2; g++ {
+		for row := 0; row <= n+1; row++ {
+			grids[g][row] = sys.MustMalloc(ownerOf(row), rowBytes, nil)
+		}
+	}
+
+	// Initialize both grids with boundary values from their owner nodes.
+	for node := 0; node < cfg.Nodes; node++ {
+		node := node
+		sys.Spawn(node, fmt.Sprintf("init%d", node), func(t *dsmpm2.Thread) {
+			for g := 0; g < 2; g++ {
+				for row := 0; row <= n+1; row++ {
+					if ownerOf(row) != node {
+						continue
+					}
+					for j := 0; j <= n+1; j++ {
+						v := boundary(row, j, n)
+						t.WriteUint64(grids[g][row]+dsmpm2.Addr(8*j), math.Float64bits(v))
+					}
+				}
+			}
+		})
+	}
+	if err := sys.Run(); err != nil {
+		return Result{}, err
+	}
+
+	bar := sys.NewBarrier(cfg.Nodes)
+	for node := 0; node < cfg.Nodes; node++ {
+		node := node
+		sys.Spawn(node, fmt.Sprintf("jacobi%d", node), func(t *dsmpm2.Thread) {
+			cur, next := 0, 1
+			for it := 0; it < cfg.Iterations; it++ {
+				for row := 1; row <= n; row++ {
+					if ownerOf(row) != node {
+						continue
+					}
+					up, down := grids[cur][row-1], grids[cur][row+1]
+					mid := grids[cur][row]
+					dst := grids[next][row]
+					for j := 1; j <= n; j++ {
+						a := math.Float64frombits(t.ReadUint64(up + dsmpm2.Addr(8*j)))
+						b := math.Float64frombits(t.ReadUint64(down + dsmpm2.Addr(8*j)))
+						c := math.Float64frombits(t.ReadUint64(mid + dsmpm2.Addr(8*(j-1))))
+						d := math.Float64frombits(t.ReadUint64(mid + dsmpm2.Addr(8*(j+1))))
+						t.WriteUint64(dst+dsmpm2.Addr(8*j), math.Float64bits(0.25*(a+b+c+d)))
+					}
+					t.Compute(dsmpm2.Duration(n) * cfg.CellCost)
+				}
+				t.Barrier(bar)
+				cur, next = next, cur
+			}
+		})
+	}
+	if err := sys.Run(); err != nil {
+		return Result{}, err
+	}
+
+	// Collect the checksum from node 0, reading through the DSM.
+	final := cfg.Iterations % 2
+	res := Result{Elapsed: sys.Now(), Stats: sys.Stats()}
+	sys.Spawn(0, "checksum", func(t *dsmpm2.Thread) {
+		sum := 0.0
+		for row := 1; row <= n; row++ {
+			for j := 1; j <= n; j++ {
+				sum += math.Float64frombits(t.ReadUint64(grids[final][row] + dsmpm2.Addr(8*j)))
+			}
+		}
+		res.Checksum = sum
+	})
+	if err := sys.Run(); err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}

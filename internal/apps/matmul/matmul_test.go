@@ -1,0 +1,47 @@
+package matmul
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSerialDeterministic(t *testing.T) {
+	if SolveSerial(6, 3) != SolveSerial(6, 3) {
+		t.Fatal("serial checksum not deterministic")
+	}
+	if SolveSerial(6, 3) == SolveSerial(6, 4) {
+		t.Fatal("different seeds gave identical checksums")
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	const n, seed = 8, 3
+	want := SolveSerial(n, seed)
+	for _, proto := range []string{"li_hudak", "hbrc_mw"} {
+		res, err := Run(Config{N: n, Nodes: 2, Protocol: proto, Seed: seed})
+		if err != nil {
+			t.Fatalf("[%s] %v", proto, err)
+		}
+		if math.Abs(res.Checksum-want) > 1e-9 {
+			t.Errorf("[%s] checksum = %v, want %v", proto, res.Checksum, want)
+		}
+	}
+}
+
+func TestReadSharingReplicatesNotPingPongs(t *testing.T) {
+	// A and B are read-only: after the initial replication, no
+	// invalidations should occur under li_hudak.
+	res, err := Run(Config{N: 8, Nodes: 4, Protocol: "li_hudak", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Invalidations != 0 {
+		t.Fatalf("read-only workload caused %d invalidations", res.Stats.Invalidations)
+	}
+}
+
+func TestMatmulBadConfig(t *testing.T) {
+	if _, err := Run(Config{N: 0, Nodes: 1}); err == nil {
+		t.Error("empty matrix accepted")
+	}
+}

@@ -1,0 +1,76 @@
+// Package bench provides the measurement scenarios shared by the root
+// benchmark suite (bench_test.go) and the dsmbench command: the micro
+// experiments of Section 2.1 and the fault breakdowns of Tables 3 and 4.
+package bench
+
+import (
+	"fmt"
+
+	"dsmpm2"
+	"dsmpm2/internal/core"
+	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/pm2"
+)
+
+// NullRPC measures the minimal round-trip latency of an empty RPC between
+// two nodes, in microseconds (Section 2.1: 6us over SISCI/SCI, 8us over
+// BIP/Myrinet).
+func NullRPC(prof *madeleine.Profile) float64 {
+	rt := pm2.NewRuntime(pm2.Config{Nodes: 2, Network: prof, Seed: 1})
+	rt.Node(1).Register("null", false, func(h *pm2.Thread, arg interface{}) interface{} {
+		return nil
+	})
+	var took float64
+	rt.CreateThread(0, "caller", func(th *pm2.Thread) {
+		start := th.Now()
+		th.Call(1, "null", nil, 0, 0)
+		took = th.Now().Sub(start).Microseconds()
+	})
+	mustRun(rt.Run())
+	return took
+}
+
+// Migration measures the latency of migrating a minimal-stack thread
+// between two nodes, in microseconds (Section 2.1: 62us over SISCI/SCI,
+// 75us over BIP/Myrinet).
+func Migration(prof *madeleine.Profile) float64 {
+	rt := pm2.NewRuntime(pm2.Config{Nodes: 2, Network: prof, Seed: 1})
+	var took float64
+	rt.CreateThreadStack(0, "wanderer", 1024, func(th *pm2.Thread) {
+		start := th.Now()
+		th.MigrateTo(1)
+		took = th.Now().Sub(start).Microseconds()
+	})
+	mustRun(rt.Run())
+	return took
+}
+
+// ReadFaultPage performs one remote read fault under li_hudak (the
+// page-migration policy) and returns its step breakdown (Table 3).
+func ReadFaultPage(prof *madeleine.Profile) *core.FaultTiming {
+	return readFault(prof, "li_hudak")
+}
+
+// ReadFaultMigrate performs one remote read fault under migrate_thread and
+// returns its step breakdown (Table 4).
+func ReadFaultMigrate(prof *madeleine.Profile) *core.FaultTiming {
+	return readFault(prof, "migrate_thread")
+}
+
+func readFault(prof *madeleine.Profile, protocol string) *core.FaultTiming {
+	sys := dsmpm2.MustNew(dsmpm2.Config{Nodes: 2, Network: prof, Protocol: protocol})
+	base := sys.MustMalloc(1, core.PageSize, nil)
+	sys.Spawn(0, "reader", func(t *dsmpm2.Thread) { t.ReadUint64(base) })
+	mustRun(sys.Run())
+	recs := sys.Timings().All()
+	if len(recs) != 1 {
+		panic(fmt.Sprintf("bench: expected 1 fault record, have %d", len(recs)))
+	}
+	return recs[0]
+}
+
+func mustRun(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dsmpm2/internal/memory"
+	"dsmpm2/internal/pm2"
+	"dsmpm2/internal/sim"
+)
+
+// maxFaultRetries bounds the fault-retry loop; a protocol that cannot make
+// an access succeed within this many handler invocations is broken, and the
+// core fails fast instead of livelocking the simulation.
+const maxFaultRetries = 1000
+
+// Access performs an n-byte shared-memory access on behalf of thread t,
+// running the page's consistency protocol on faults and retrying until the
+// access succeeds, exactly like the SIGSEGV handler + instruction restart
+// cycle of the real system. buf is the destination (read) or source (write).
+func (d *DSM) Access(t *pm2.Thread, addr Addr, buf []byte, write bool) {
+	for retry := 0; ; retry++ {
+		node := t.Node() // the thread may migrate between retries
+		space := d.state[node].space
+		var err error
+		if write {
+			err = space.Write(addr, buf)
+		} else {
+			err = space.Read(addr, buf)
+		}
+		if err == nil {
+			return
+		}
+		flt, ok := err.(*memory.Fault)
+		if !ok {
+			panic(fmt.Sprintf("core: invalid shared access by %s: %v", t.Name(), err))
+		}
+		if retry >= maxFaultRetries {
+			panic(fmt.Sprintf("core: access at %#x by %s still faulting after %d protocol invocations",
+				addr, t.Name(), retry))
+		}
+		if retry > 2 {
+			// A fetched copy keeps being invalidated before the access
+			// can retry: a writer elsewhere is reclaiming the page in
+			// lockstep with our refetches. Real systems escape through
+			// OS timing noise; the simulation injects the equivalent —
+			// a deterministic-per-seed jittered backoff that shifts
+			// our next fetch out of phase with the writer.
+			maxUS := retry * 10
+			if maxUS > 500 {
+				maxUS = 500
+			}
+			jitter := sim.Duration(1+d.rt.Engine().Rand().Intn(maxUS)) * sim.Microsecond
+			t.Advance(jitter)
+		}
+		d.handleFault(t, flt)
+	}
+}
+
+// handleFault charges the detection cost and dispatches the page's protocol
+// fault handler. If the handler returns with the entry lock held (the
+// toolbox's anti-livelock handoff), the retried access in Access proceeds
+// before any competing server can steal the page; the lock is dropped after
+// one more memory operation via deferUnlock.
+func (d *DSM) handleFault(t *pm2.Thread, flt *memory.Fault) {
+	start := t.Now()
+	t.Advance(d.costs.Fault) // catch signal, extract fault parameters
+	node := t.Node()
+	e := d.Entry(node, flt.Page)
+	proto := d.protoFor(flt.Page)
+	ft := &FaultTiming{
+		Start:    start,
+		Protocol: proto.Name(),
+		Write:    flt.Write,
+		Detect:   d.costs.Fault,
+	}
+	f := &Fault{
+		DSM:    d,
+		Thread: t,
+		Node:   node,
+		Addr:   flt.Addr,
+		Page:   flt.Page,
+		Write:  flt.Write,
+		Entry:  e,
+		Timing: ft,
+	}
+	d.nodeFaults[node]++
+	if flt.Write {
+		d.stats.WriteFaults++
+		proto.WriteFaultHandler(f)
+	} else {
+		d.stats.ReadFaults++
+		proto.ReadFaultHandler(f)
+	}
+	ft.Total = t.Now().Sub(start)
+	d.timings.Add(ft)
+	if f.entryLocked {
+		// Safe to release before the retry: the current thread keeps
+		// the simulation token until its next blocking operation, and
+		// the retried memory access never blocks, so no competing
+		// server can run in between.
+		e.Unlock(t)
+	}
+}
+
+// Read copies len(buf) shared bytes at addr into buf.
+func (d *DSM) Read(t *pm2.Thread, addr Addr, buf []byte) { d.Access(t, addr, buf, false) }
+
+// Write copies buf into shared memory at addr.
+func (d *DSM) Write(t *pm2.Thread, addr Addr, buf []byte) { d.Access(t, addr, buf, true) }
+
+// ReadUint32 loads a shared little-endian uint32.
+func (d *DSM) ReadUint32(t *pm2.Thread, addr Addr) uint32 {
+	var b [4]byte
+	d.Access(t, addr, b[:], false)
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// WriteUint32 stores a shared little-endian uint32.
+func (d *DSM) WriteUint32(t *pm2.Thread, addr Addr, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	d.Access(t, addr, b[:], true)
+}
+
+// ReadUint64 loads a shared little-endian uint64.
+func (d *DSM) ReadUint64(t *pm2.Thread, addr Addr) uint64 {
+	var b [8]byte
+	d.Access(t, addr, b[:], false)
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// WriteUint64 stores a shared little-endian uint64.
+func (d *DSM) WriteUint64(t *pm2.Thread, addr Addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	d.Access(t, addr, b[:], true)
+}
+
+// Get performs an object read through the page protocol's get primitive if
+// it provides one (java_ic/java_pf), falling back to the paged access path
+// otherwise, so object-style programs run under any protocol.
+func (d *DSM) Get(t *pm2.Thread, addr Addr, buf []byte) {
+	d.stats.GetOps++
+	pg := d.state[0].space.PageOf(addr)
+	if op, ok := d.protoFor(pg).(ObjectProtocol); ok {
+		op.Get(&ObjAccess{DSM: d, Thread: t, Addr: addr, Buf: buf, Write: false})
+		return
+	}
+	d.Access(t, addr, buf, false)
+}
+
+// Put performs an object write through the page protocol's put primitive if
+// it provides one, falling back to the paged access path otherwise.
+func (d *DSM) Put(t *pm2.Thread, addr Addr, buf []byte) {
+	d.stats.PutOps++
+	pg := d.state[0].space.PageOf(addr)
+	if op, ok := d.protoFor(pg).(ObjectProtocol); ok {
+		op.Put(&ObjAccess{DSM: d, Thread: t, Addr: addr, Buf: buf, Write: true})
+		return
+	}
+	d.Access(t, addr, buf, true)
+}
+
+// GetUint64 is Get for a little-endian uint64 field.
+func (d *DSM) GetUint64(t *pm2.Thread, addr Addr) uint64 {
+	var b [8]byte
+	d.Get(t, addr, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// PutUint64 is Put for a little-endian uint64 field.
+func (d *DSM) PutUint64(t *pm2.Thread, addr Addr, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	d.Put(t, addr, b[:])
+}

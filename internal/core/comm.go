@@ -1,0 +1,203 @@
+package core
+
+import (
+	"dsmpm2/internal/memory"
+	"dsmpm2/internal/pm2"
+	"dsmpm2/internal/sim"
+)
+
+// Service names used by the DSM communication module. The module provides
+// the paper's "limited set of communication routines": sending a page
+// request, sending a page, invalidating a page, sending diffs. Everything
+// is carried by PM2's RPC mechanism.
+const (
+	svcRequest = "dsm.request"
+	svcPage    = "dsm.page"
+	svcInvald  = "dsm.invalidate"
+	svcDiff    = "dsm.diff"
+	svcLockAcq = "dsm.lock.acquire"
+	svcLockRel = "dsm.lock.release"
+	svcBarrier = "dsm.barrier"
+)
+
+// ctrlBytes is the wire size of a control message.
+const ctrlBytes = 64
+
+// reqMsg asks the destination for page access.
+type reqMsg struct {
+	page   Page
+	from   int // requesting node
+	write  bool
+	timing *FaultTiming
+	sentAt sim.Time
+}
+
+// pageMsg carries a page copy to a requester.
+type pageMsg struct {
+	page    Page
+	from    int
+	data    []byte
+	access  memory.Access
+	owner   int
+	ownship bool
+	copyset []int
+	timing  *FaultTiming
+	sentAt  sim.Time
+}
+
+// invMsg asks the destination to invalidate its copy of a page.
+type invMsg struct {
+	page     Page
+	from     int
+	newOwner int
+	ack      *sim.Chan // nil for unacknowledged invalidations
+}
+
+// diffMsgWire carries diffs to a home node.
+type diffMsgWire struct {
+	from  int
+	diffs []*memory.Diff
+	reply *sim.Chan // signalled once applied, nil for fire-and-forget
+}
+
+// registerServices wires the DSM communication module onto every node.
+// Request, invalidation and diff servers are threaded so that concurrent
+// requests — for the same page or different pages — are processed in
+// parallel, the multithreaded behaviour Section 3 calls out; page
+// installation is a quick handler, serialized per node like a softirq.
+func (d *DSM) registerServices() {
+	for i := 0; i < d.rt.Nodes(); i++ {
+		node := d.rt.Node(i)
+
+		node.Register(svcRequest, true, func(h *pm2.Thread, arg interface{}) interface{} {
+			m := arg.(*reqMsg)
+			if m.timing != nil {
+				m.timing.Request = h.Now().Sub(m.sentAt)
+			}
+			r := &Request{
+				DSM:    d,
+				Thread: h,
+				Node:   h.Node(),
+				Page:   m.page,
+				From:   m.from,
+				Write:  m.write,
+				Timing: m.timing,
+			}
+			p := d.protoFor(m.page)
+			if m.write {
+				p.WriteServer(r)
+			} else {
+				p.ReadServer(r)
+			}
+			return nil
+		})
+
+		node.Register(svcPage, false, func(h *pm2.Thread, arg interface{}) interface{} {
+			m := arg.(*pageMsg)
+			if m.timing != nil {
+				m.timing.Transfer = h.Now().Sub(m.sentAt)
+			}
+			pm := &PageMsg{
+				DSM:     d,
+				Thread:  h,
+				Node:    h.Node(),
+				Page:    m.page,
+				From:    m.from,
+				Data:    m.data,
+				Access:  m.access,
+				Owner:   m.owner,
+				Ownship: m.ownship,
+				Copyset: m.copyset,
+				Timing:  m.timing,
+			}
+			d.protoFor(m.page).ReceivePageServer(pm)
+			return nil
+		})
+
+		node.Register(svcInvald, true, func(h *pm2.Thread, arg interface{}) interface{} {
+			m := arg.(*invMsg)
+			// Any invalidation supersedes a page copy still in flight
+			// to this node (see Entry.InvalSeq).
+			d.Entry(h.Node(), m.page).InvalSeq++
+			iv := &Invalidate{
+				DSM:      d,
+				Thread:   h,
+				Node:     h.Node(),
+				Page:     m.page,
+				From:     m.from,
+				NewOwner: m.newOwner,
+			}
+			d.protoFor(m.page).InvalidateServer(iv)
+			if m.ack != nil {
+				d.rt.Network().SendDirect(m.ack, ctrlBytes, nil, d.rt.Profile().CtrlMsg)
+			}
+			return nil
+		})
+
+		node.Register(svcDiff, true, func(h *pm2.Thread, arg interface{}) interface{} {
+			m := arg.(*diffMsgWire)
+			if len(m.diffs) > 0 {
+				ds, ok := d.protoFor(m.diffs[0].Page).(DiffServer)
+				if !ok {
+					panic("core: diffs sent to a protocol without a DiffServer")
+				}
+				ds.DiffServer(&DiffMsg{
+					DSM:    d,
+					Thread: h,
+					Node:   h.Node(),
+					From:   m.from,
+					Diffs:  m.diffs,
+					reply:  m.reply,
+				})
+			}
+			if m.reply != nil {
+				d.rt.Network().SendDirect(m.reply, ctrlBytes, nil, d.rt.Profile().CtrlMsg)
+			}
+			return nil
+		})
+	}
+	d.registerSyncServices()
+}
+
+// sendRequest delivers a page request to dest (a control message).
+func (d *DSM) sendRequest(from, dest int, m *reqMsg) {
+	m.sentAt = d.rt.Now()
+	d.stats.Requests++
+	d.rt.AsyncFrom(from, dest, svcRequest, m, ctrlBytes)
+}
+
+// sendPage delivers a page copy to dest as a bulk transfer. The message
+// header travels inside the transfer's fixed base cost, so the charged
+// payload is exactly the page, as in the paper's Table 3 measurements.
+func (d *DSM) sendPage(from, dest int, m *pageMsg) {
+	m.sentAt = d.rt.Now()
+	d.stats.PageSends++
+	d.stats.PageBytes += int64(len(m.data))
+	d.rt.AsyncFrom(from, dest, svcPage, m, len(m.data))
+}
+
+// sendInvalidate delivers an invalidation to dest.
+func (d *DSM) sendInvalidate(from, dest int, m *invMsg) {
+	d.stats.Invalidations++
+	d.rt.AsyncFrom(from, dest, svcInvald, m, ctrlBytes)
+}
+
+// sendDiffs delivers a batch of diffs to dest and, if wait is true, blocks
+// the calling thread until the destination has applied them (release
+// semantics demand it).
+func (d *DSM) sendDiffs(t *pm2.Thread, dest int, diffs []*memory.Diff, wait bool) {
+	size := ctrlBytes
+	for _, df := range diffs {
+		size += df.Size()
+	}
+	m := &diffMsgWire{from: t.Node(), diffs: diffs}
+	d.stats.DiffsSent += int64(len(diffs))
+	d.stats.DiffBytes += int64(size)
+	if wait {
+		m.reply = new(sim.Chan)
+	}
+	d.rt.AsyncFrom(t.Node(), dest, svcDiff, m, size)
+	if wait {
+		m.reply.Recv(t.Proc())
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmpm2/internal/pm2"
+	"dsmpm2/internal/sim"
+)
+
+// condDSM builds a DSM with a trivial local protocol for condvar tests.
+func condDSM(t *testing.T, nodes int) *DSM {
+	d := newDSM(nodes)
+	h, _ := localProto("p")
+	d.SetDefaultProtocol(d.CreateProtocol(h))
+	return d
+}
+
+func TestCondSignalWakesOldestWaiter(t *testing.T) {
+	d := condDSM(t, 2)
+	lock := d.NewLock(0)
+	cond := d.NewCond(lock)
+	rt := d.Runtime()
+	var woken []string
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("w%d", i)
+		start := sim.Time(i * 1000)
+		node := i % 2
+		rt.Engine().Schedule(start, func() {})
+		i := i
+		rt.CreateThread(node, name, func(th *pm2.Thread) {
+			th.Advance(sim.Duration(i) * 100 * sim.Microsecond) // stagger arrival
+			d.Acquire(th, lock)
+			d.CondWait(th, cond)
+			woken = append(woken, th.Name())
+			d.Release(th, lock)
+		})
+	}
+	rt.CreateThread(0, "signaler", func(th *pm2.Thread) {
+		th.Advance(10 * sim.Millisecond)
+		for i := 0; i < 3; i++ {
+			d.Acquire(th, lock)
+			d.CondSignal(th, cond)
+			d.Release(th, lock)
+			th.Advance(5 * sim.Millisecond)
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(woken) != 3 {
+		t.Fatalf("woken = %v", woken)
+	}
+	for i, name := range []string{"w0", "w1", "w2"} {
+		if woken[i] != name {
+			t.Fatalf("wake order = %v, want FIFO", woken)
+		}
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	d := condDSM(t, 2)
+	lock := d.NewLock(1)
+	cond := d.NewCond(lock)
+	rt := d.Runtime()
+	woken := 0
+	for i := 0; i < 4; i++ {
+		rt.CreateThread(i%2, fmt.Sprintf("w%d", i), func(th *pm2.Thread) {
+			d.Acquire(th, lock)
+			d.CondWait(th, cond)
+			woken++
+			d.Release(th, lock)
+		})
+	}
+	rt.CreateThread(0, "b", func(th *pm2.Thread) {
+		th.Advance(10 * sim.Millisecond)
+		d.Acquire(th, lock)
+		d.CondBroadcast(th, cond)
+		d.Release(th, lock)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woken != 4 {
+		t.Fatalf("broadcast woke %d of 4", woken)
+	}
+}
+
+func TestCondNoLostWakeup(t *testing.T) {
+	// Signal racing with the waiter's release: the ticket reservation
+	// happens under the lock, so the signal must be buffered.
+	d := condDSM(t, 2)
+	lock := d.NewLock(0)
+	cond := d.NewCond(lock)
+	rt := d.Runtime()
+	done := false
+	rt.CreateThread(1, "waiter", func(th *pm2.Thread) {
+		d.Acquire(th, lock)
+		d.CondWait(th, cond)
+		done = true
+		d.Release(th, lock)
+	})
+	rt.CreateThread(0, "signaler", func(th *pm2.Thread) {
+		// Signal repeatedly so one lands in the race window no matter
+		// how the virtual timings fall.
+		for i := 0; i < 5; i++ {
+			th.Advance(time100us())
+			d.Acquire(th, lock)
+			d.CondSignal(th, cond)
+			d.Release(th, lock)
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("waiter never woke")
+	}
+}
+
+func time100us() sim.Duration { return 100 * sim.Microsecond }
+
+func TestCondValidation(t *testing.T) {
+	d := condDSM(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCond on unknown lock did not panic")
+		}
+	}()
+	d.NewCond(7)
+}

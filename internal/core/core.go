@@ -1,0 +1,256 @@
+// Package core implements the generic layer of DSM-PM2: the DSM page
+// manager, the DSM communication module, the protocol library toolbox, and
+// the protocol policy layer (Section 2.2 of the paper, Figure 1).
+//
+// The core answers the paper's central question — "what are the features
+// that need to be present in any DSM system?" — by providing, once and
+// thread-safe: access detection, a distributed page table, the small set of
+// DSM communication routines, synchronization objects with consistency
+// hooks, and the instrumentation to profile all of it. A consistency
+// protocol is then just a set of 8 routines (Table 1) registered with the
+// policy layer.
+package core
+
+import (
+	"fmt"
+
+	"dsmpm2/internal/isomalloc"
+	"dsmpm2/internal/memory"
+	"dsmpm2/internal/pm2"
+	"dsmpm2/internal/sim"
+)
+
+// Addr is a virtual address in the shared space.
+type Addr = memory.Addr
+
+// Page identifies a shared page.
+type Page = memory.Page
+
+// PageSize is the shared-page size. The paper's measurements use "a common
+// 4 kB page".
+const PageSize = 4096
+
+// Costs gathers the protocol-independent CPU costs of the generic core,
+// calibrated from Tables 3 and 4 of the paper.
+type Costs struct {
+	// Fault is the cost of catching an access fault and extracting its
+	// parameters (the paper's "Page fault" row: 11us on all networks).
+	Fault sim.Duration
+	// Server is the request-processing cost on the owner/home node, and
+	// Install the page-installation cost on the requesting node. Their
+	// sum is the paper's page-policy "Protocol overhead" row (26us).
+	Server  sim.Duration
+	Install sim.Duration
+	// MigOverhead is the protocol overhead of a migration-based fault
+	// handler (Table 4: about 1us — "merely a call to the underlying
+	// runtime").
+	MigOverhead sim.Duration
+	// Check is the cost of one inline locality check in the java_ic
+	// protocol's get/put primitives.
+	Check sim.Duration
+	// DiffGap is the coalescing gap used when computing twin diffs.
+	DiffGap int
+}
+
+// DefaultCosts returns the paper-calibrated cost set.
+func DefaultCosts() Costs {
+	return Costs{
+		Fault:       11 * sim.Microsecond,
+		Server:      13 * sim.Microsecond,
+		Install:     13 * sim.Microsecond,
+		MigOverhead: 1 * sim.Microsecond,
+		Check:       300 * sim.Nanosecond,
+		DiffGap:     8,
+	}
+}
+
+// nodeState is the per-node half of the DSM: this node's view of the shared
+// address space and its slice of the distributed page table.
+type nodeState struct {
+	node  int
+	space *memory.Space
+	table map[Page]*Entry
+}
+
+// DSM is a DSM-PM2 instance spanning all nodes of a PM2 machine.
+type DSM struct {
+	rt    *pm2.Runtime
+	alloc *isomalloc.Allocator
+	costs Costs
+
+	state []*nodeState
+
+	registry  *Registry
+	instances map[ProtoID]Protocol
+	defProto  ProtoID
+
+	allocInfo map[Page]pageInfo
+
+	locks    []*lockState
+	barriers []*barrierState
+	conds    []*condState
+
+	objects *objectSpace
+
+	stats      Stats
+	nodeFaults []int64
+	timings    TimingLog
+}
+
+// pageInfo is the allocation-time metadata for a shared page, known on every
+// node (the real system distributes it when dsm_malloc updates the global
+// table).
+type pageInfo struct {
+	home  int
+	proto ProtoID
+}
+
+// New creates a DSM instance over the given PM2 machine, with the given
+// protocol registry. Registered protocols are instantiated per DSM.
+func New(rt *pm2.Runtime, reg *Registry, costs Costs) *DSM {
+	d := &DSM{
+		rt:        rt,
+		alloc:     isomalloc.New(rt.Nodes(), PageSize),
+		costs:     costs,
+		registry:  reg,
+		instances: make(map[ProtoID]Protocol),
+		allocInfo: make(map[Page]pageInfo),
+		defProto:  -1,
+	}
+	d.nodeFaults = make([]int64, rt.Nodes())
+	for i := 0; i < rt.Nodes(); i++ {
+		d.state = append(d.state, &nodeState{
+			node:  i,
+			space: memory.NewSpace(PageSize),
+			table: make(map[Page]*Entry),
+		})
+	}
+	d.objects = newObjectSpace(d)
+	d.registerServices()
+	return d
+}
+
+// Runtime returns the underlying PM2 machine.
+func (d *DSM) Runtime() *pm2.Runtime { return d.rt }
+
+// Costs returns the core cost configuration.
+func (d *DSM) Costs() Costs { return d.costs }
+
+// Space returns node's view of the shared address space. Protocol code uses
+// it to install pages and set access rights.
+func (d *DSM) Space(node int) *memory.Space { return d.state[node].space }
+
+// SetDefaultProtocol makes id the protocol for subsequent allocations that
+// carry no explicit attribute (pm2_dsm_set_default_protocol).
+func (d *DSM) SetDefaultProtocol(id ProtoID) {
+	d.instance(id) // force instantiation; panics on unknown id
+	d.defProto = id
+}
+
+// DefaultProtocol returns the current default protocol id (-1 if unset).
+func (d *DSM) DefaultProtocol() ProtoID { return d.defProto }
+
+// instance returns (instantiating on first use) the protocol instance for id.
+func (d *DSM) instance(id ProtoID) Protocol {
+	if p, ok := d.instances[id]; ok {
+		return p
+	}
+	p := d.registry.newInstance(id, d)
+	d.instances[id] = p
+	return p
+}
+
+// eachInstance invokes fn on every instantiated protocol, in id order.
+func (d *DSM) eachInstance(fn func(Protocol)) {
+	for id := ProtoID(0); int(id) < d.registry.Len(); id++ {
+		if p, ok := d.instances[id]; ok {
+			fn(p)
+		}
+	}
+}
+
+// Attr carries per-allocation attributes, mirroring dsm_attr_t.
+type Attr struct {
+	// Protocol manages the allocated area; -1 selects the default.
+	Protocol ProtoID
+	// Home fixes the area's home/initial-owner node; -1 means the
+	// allocating node.
+	Home int
+}
+
+// DefaultAttr returns an Attr selecting the default protocol and the
+// allocating node as home.
+func DefaultAttr() *Attr { return &Attr{Protocol: -1, Home: -1} }
+
+// Malloc allocates size bytes of shared memory on node (dsm_malloc). The
+// area is page aligned; its pages are owned by (and homed on) attr.Home, or
+// the allocating node. Different areas may use different protocols within
+// the same application.
+func (d *DSM) Malloc(node, size int, attr *Attr) (Addr, error) {
+	if attr == nil {
+		attr = DefaultAttr()
+	}
+	proto := attr.Protocol
+	if proto < 0 {
+		proto = d.defProto
+	}
+	if proto < 0 {
+		return 0, fmt.Errorf("core: no protocol specified and no default set")
+	}
+	d.instance(proto) // validate & instantiate
+	home := attr.Home
+	if home < 0 {
+		home = node
+	}
+	if home >= d.rt.Nodes() {
+		return 0, fmt.Errorf("core: home node %d out of range", home)
+	}
+	r, err := d.alloc.Alloc(node, size)
+	if err != nil {
+		return 0, err
+	}
+	first := d.state[0].space.PageOf(r.Base)
+	npages := r.Size / PageSize
+	for i := 0; i < npages; i++ {
+		pg := first + Page(i)
+		d.allocInfo[pg] = pageInfo{home: home, proto: proto}
+		// The home node starts with the only, writable copy.
+		d.state[home].space.SetAccess(pg, memory.ReadWrite)
+		d.Entry(home, pg).Owner = true
+		if init, ok := d.instance(proto).(PageInitializer); ok {
+			init.InitPage(pg, home)
+		}
+	}
+	d.stats.Allocs++
+	d.stats.AllocBytes += int64(r.Size)
+	return r.Base, nil
+}
+
+// MustMalloc is Malloc panicking on error, for setup code.
+func (d *DSM) MustMalloc(node, size int, attr *Attr) Addr {
+	a, err := d.Malloc(node, size, attr)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Free releases a shared area. The caller must ensure no thread accesses it
+// afterwards (as with any free).
+func (d *DSM) Free(base Addr) error { return d.alloc.Free(base) }
+
+// PageInfo reports the home node and protocol of a page, as recorded at
+// allocation time.
+func (d *DSM) PageInfo(pg Page) (home int, proto ProtoID, ok bool) {
+	pi, ok := d.allocInfo[pg]
+	return pi.home, pi.proto, ok
+}
+
+// protoFor returns the protocol instance managing page pg.
+func (d *DSM) protoFor(pg Page) Protocol {
+	pi, ok := d.allocInfo[pg]
+	if !ok {
+		panic(fmt.Sprintf("core: access to unallocated page %d", pg))
+	}
+	return d.instance(pi.proto)
+}

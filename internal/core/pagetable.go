@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sort"
+
+	"dsmpm2/internal/pm2"
+	"dsmpm2/internal/sim"
+)
+
+// Entry is one node's page-table entry for one shared page: the DSM page
+// manager's unit of state (Section 2.2, "Page manager"). The field set
+// covers what the built-in protocols need; as in the real system, a field
+// may carry different semantics under different protocols, be unused by
+// some, and protocols can hang arbitrary private state off ProtoData.
+type Entry struct {
+	Page Page
+
+	// ProbOwner is the probable-owner hint of the Li-Hudak dynamic
+	// distributed manager: requests are forwarded along these hints until
+	// they reach the true owner. Fixed-manager protocols keep it equal to
+	// Home.
+	ProbOwner int
+
+	// Home is the page's fixed home node (fixed distributed managers and
+	// home-based protocols).
+	Home int
+
+	// Owner reports whether this node currently owns the page.
+	Owner bool
+
+	// Copyset lists the nodes holding read copies. It is meaningful on
+	// the owner (dynamic managers) or home (home-based protocols).
+	Copyset []int
+
+	// Pending marks a fetch in flight from this node, so concurrent
+	// faulting threads coalesce onto one request instead of each sending
+	// their own — the multithreaded adaptation Section 3 describes.
+	Pending bool
+
+	// ProtoData is protocol-private per-page state (e.g. the hbrc_mw twin,
+	// or erc_sw's written-in-critical-section flag).
+	ProtoData interface{}
+
+	// InvalSeq counts invalidations received for this page on this node.
+	// It closes the stale-install race: a fast invalidation control
+	// message can overtake an in-flight page transfer, so a page copy
+	// requested before the invalidation must not be installed after it.
+	// The core bumps it on every arriving invalidation; FetchPage
+	// snapshots it into pendingSeq; InstallPage discards non-ownership
+	// copies whose snapshot is out of date and lets the access refault.
+	InvalSeq   uint64
+	pendingSeq uint64
+
+	mu   sim.Mutex
+	cond *sim.Cond
+}
+
+// newEntry builds the entry for pg on one node from the allocation metadata.
+func newEntry(pg Page, pi pageInfo) *Entry {
+	e := &Entry{
+		Page:      pg,
+		ProbOwner: pi.home,
+		Home:      pi.home,
+	}
+	e.cond = sim.NewCond(&e.mu)
+	return e
+}
+
+// Entry returns node's page-table entry for pg, creating it from the
+// allocation metadata on first touch.
+func (d *DSM) Entry(node int, pg Page) *Entry {
+	ns := d.state[node]
+	if e, ok := ns.table[pg]; ok {
+		return e
+	}
+	pi, ok := d.allocInfo[pg]
+	if !ok {
+		panic("core: page table entry requested for unallocated page")
+	}
+	e := newEntry(pg, pi)
+	ns.table[pg] = e
+	return e
+}
+
+// Lock acquires the entry's mutex. Every protocol action that reads or
+// writes entry state must hold it; the toolbox routines document which locks
+// they take.
+func (e *Entry) Lock(t *pm2.Thread) { e.mu.Lock(t.Proc()) }
+
+// Unlock releases the entry's mutex.
+func (e *Entry) Unlock(t *pm2.Thread) { e.mu.Unlock(t.Proc()) }
+
+// Wait blocks on the entry's condition variable (entry lock held), releasing
+// the lock while suspended. Used by faulting threads waiting for a page and
+// by servers waiting for in-flight ownership.
+func (e *Entry) Wait(t *pm2.Thread) { e.cond.Wait(t.Proc()) }
+
+// Broadcast wakes all threads blocked in Wait.
+func (e *Entry) Broadcast() { e.cond.Broadcast() }
+
+// InCopyset reports whether node is recorded in the copyset.
+func (e *Entry) InCopyset(node int) bool {
+	for _, n := range e.Copyset {
+		if n == node {
+			return true
+		}
+	}
+	return false
+}
+
+// AddCopyset inserts node into the copyset if absent.
+func (e *Entry) AddCopyset(node int) {
+	if !e.InCopyset(node) {
+		e.Copyset = append(e.Copyset, node)
+	}
+}
+
+// RemoveCopyset deletes node from the copyset.
+func (e *Entry) RemoveCopyset(node int) {
+	for i, n := range e.Copyset {
+		if n == node {
+			e.Copyset = append(e.Copyset[:i], e.Copyset[i+1:]...)
+			return
+		}
+	}
+}
+
+// TakeCopyset empties the copyset and returns its former contents, sorted
+// for deterministic invalidation order.
+func (e *Entry) TakeCopyset() []int {
+	cs := e.Copyset
+	e.Copyset = nil
+	sort.Ints(cs)
+	return cs
+}
+
+// PagesOn returns the pages node currently has table entries for, sorted.
+// Protocol release hooks use it to sweep per-node state deterministically.
+func (d *DSM) PagesOn(node int) []Page {
+	ns := d.state[node]
+	out := make([]Page, 0, len(ns.table))
+	for pg := range ns.table {
+		out = append(out, pg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

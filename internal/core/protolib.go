@@ -1,0 +1,326 @@
+package core
+
+import (
+	"dsmpm2/internal/memory"
+	"dsmpm2/internal/pm2"
+	"dsmpm2/internal/sim"
+)
+
+// This file is the DSM protocol library layer (Figure 1): thread-safe
+// routines to perform the elementary actions protocols are composed of —
+// bringing a copy of a remote page to a thread, migrating a thread to remote
+// data, invalidating the copies of a page, serving pages, and the twin/diff
+// machinery. Protocols at the policy layer combine these; "most (if not
+// all!) subtle synchronization problems are already addressed by the core
+// routines".
+
+// FetchPage brings a copy of f.Page to the faulting node with at least the
+// requested access, blocking f.Thread until the page is installed. If
+// several threads on the node fault on the same page concurrently, only one
+// request is sent and the rest wait on the entry (thread-level coalescing).
+//
+// On return the entry lock is held and handed to the core's retry path via
+// f.KeepEntryLocked, so the faulting access completes before competing
+// servers can take the page away. FetchPage does not guarantee the retried
+// access succeeds (an in-flight fetch may have granted a weaker right than
+// this fault needs); the core then faults again.
+func FetchPage(f *Fault, write bool) {
+	d, t, e := f.DSM, f.Thread, f.Entry
+	space := d.state[f.Node].space
+	e.Lock(t)
+	for {
+		if space.AccessOf(f.Page).Allows(write) {
+			f.KeepEntryLocked()
+			return // another thread already brought the page
+		}
+		if e.Pending {
+			e.Wait(t) // coalesce with the fetch in flight
+			continue
+		}
+		break
+	}
+	e.Pending = true
+	e.pendingSeq = e.InvalSeq
+	dest := e.ProbOwner
+	e.Unlock(t)
+
+	d.sendRequest(f.Node, dest, &reqMsg{
+		page:   f.Page,
+		from:   f.Node,
+		write:  write,
+		timing: f.Timing,
+	})
+
+	e.Lock(t)
+	for e.Pending {
+		e.Wait(t)
+	}
+	f.KeepEntryLocked()
+}
+
+// ServeWhenOwner blocks a server thread until this node owns r.Page,
+// following in-flight ownership transfers. It returns with the entry lock
+// held and true if the node is the owner; if the node is not the owner and
+// no transfer is pending, it returns false with the lock held and the caller
+// should forward the request along the probable-owner chain.
+func ServeWhenOwner(r *Request) (e *Entry, owner bool) {
+	d, t := r.DSM, r.Thread
+	e = d.Entry(r.Node, r.Page)
+	e.Lock(t)
+	for !e.Owner && e.Pending {
+		e.Wait(t)
+	}
+	return e, e.Owner
+}
+
+// ForwardRequest re-sends the request along the probable-owner chain
+// (dynamic distributed manager). Call with the entry lock held; it is
+// released before sending.
+func ForwardRequest(r *Request, e *Entry) {
+	dest := e.ProbOwner
+	e.Unlock(r.Thread)
+	ForwardRequestTo(r, dest)
+}
+
+// ForwardRequestTo re-sends the request to an explicit destination (managed
+// schemes: the manager relays to the recorded owner). The entry lock must
+// already be released.
+func ForwardRequestTo(r *Request, dest int) {
+	r.DSM.sendRequest(r.Node, dest, &reqMsg{
+		page:   r.Page,
+		from:   r.From,
+		write:  r.Write,
+		timing: r.Timing,
+	})
+}
+
+// SendPage ships this node's copy of pg to dest, granting the given access.
+// If ownship is true, page ownership (and the copyset) transfer with the
+// page. Charges the owner-side request-processing cost on this node's CPU.
+// Call with the entry lock held.
+func SendPage(r *Request, e *Entry, dest int, access memory.Access, ownship bool, copyset []int) {
+	d, t := r.DSM, r.Thread
+	t.Compute(d.costs.Server)
+	if r.Timing != nil {
+		r.Timing.Server = d.costs.Server
+	}
+	frame := d.state[r.Node].space.Frame(e.Page)
+	if frame == nil {
+		panic("core: SendPage on a node without a copy")
+	}
+	data := make([]byte, len(frame.Data))
+	copy(data, frame.Data)
+	owner := r.Node
+	if ownship {
+		owner = dest
+	}
+	d.sendPage(r.Node, dest, &pageMsg{
+		page:    e.Page,
+		from:    r.Node,
+		data:    data,
+		access:  access,
+		owner:   owner,
+		ownship: ownship,
+		copyset: copyset,
+		timing:  r.Timing,
+	})
+}
+
+// InstallPage copies an arriving page into the local frame, sets the granted
+// access right, updates ownership hints, completes the pending fetch and
+// wakes the waiting threads. Charges the requester-side installation cost.
+// This is the standard body of a ReceivePageServer hook.
+func InstallPage(pm *PageMsg) {
+	d, t := pm.DSM, pm.Thread
+	e := d.Entry(pm.Node, pm.Page)
+	e.Lock(t)
+	t.Compute(d.costs.Install)
+	if pm.Timing != nil {
+		pm.Timing.Install = d.costs.Install
+	}
+	if !pm.Ownship && e.InvalSeq != e.pendingSeq {
+		// An invalidation overtook this copy in flight: the data is
+		// stale and the home/owner no longer counts us as a holder.
+		// Drop it and let the faulting threads refault and refetch.
+		// Ownership transfers are exempt: the previous owner serialized
+		// the granting write after any invalidation it sent us.
+		e.Pending = false
+		e.Broadcast()
+		e.Unlock(t)
+		return
+	}
+	space := d.state[pm.Node].space
+	frame := space.Ensure(pm.Page)
+	copy(frame.Data, pm.Data)
+	frame.Access = pm.Access
+	e.ProbOwner = pm.Owner
+	if pm.Ownship {
+		e.Owner = true
+		e.Copyset = append([]int(nil), pm.Copyset...)
+	}
+	e.Pending = false
+	e.Broadcast()
+	e.Unlock(t)
+}
+
+// InvalidateCopies sends invalidations for pg to every node in copyset
+// except self and newOwner, and blocks until all of them acknowledge.
+// The entry lock must NOT be held: invalidated nodes may need it.
+func InvalidateCopies(d *DSM, t *pm2.Thread, pg Page, copyset []int, newOwner int) {
+	acks := 0
+	ack := new(sim.Chan)
+	for _, n := range copyset {
+		if n == t.Node() || n == newOwner {
+			continue
+		}
+		d.sendInvalidate(t.Node(), n, &invMsg{page: pg, from: t.Node(), newOwner: newOwner, ack: ack})
+		acks++
+	}
+	for i := 0; i < acks; i++ {
+		ack.Recv(t.Proc())
+	}
+}
+
+// DropCopy invalidates the local copy of pg: the frame is discarded, rights
+// revert to no-access, and the probable owner is redirected at hint (if
+// >= 0). This is the standard body of an InvalidateServer hook.
+func DropCopy(iv *Invalidate) {
+	d, t := iv.DSM, iv.Thread
+	e := d.Entry(iv.Node, iv.Page)
+	e.Lock(t)
+	d.state[iv.Node].space.Drop(iv.Page)
+	e.Owner = false
+	if iv.NewOwner >= 0 {
+		e.ProbOwner = iv.NewOwner
+	}
+	e.Unlock(t)
+}
+
+// MigrateToOwner implements the fault action of migration-based protocols:
+// charge the (tiny) handler overhead, then migrate the faulting thread to
+// the page's probable owner; the access is retried there. This is the whole
+// fault handler of the migrate_thread protocol — "essentially a single
+// function: the thread migration primitive provided by PM2".
+func MigrateToOwner(f *Fault) {
+	d, t := f.DSM, f.Thread
+	t.Advance(d.costs.MigOverhead)
+	if f.Timing != nil {
+		f.Timing.Overhead = d.costs.MigOverhead
+	}
+	e := f.Entry
+	e.Lock(t)
+	dest := e.ProbOwner
+	e.Unlock(t)
+	start := t.Now()
+	t.MigrateTo(dest)
+	if f.Timing != nil {
+		f.Timing.Migration = t.Now().Sub(start)
+	}
+	d.CountMigration()
+}
+
+// twinData is the ProtoData payload used by multiple-writer protocols.
+type twinData struct {
+	twin  []byte
+	dirty *memory.Diff // on-the-fly recorded diff (java protocols)
+}
+
+// EnsureTwin creates a twin (pristine copy) of the local page if none
+// exists. Call with the entry lock held and a frame present.
+func EnsureTwin(d *DSM, node int, e *Entry) {
+	td, _ := e.ProtoData.(*twinData)
+	if td == nil {
+		td = &twinData{}
+		e.ProtoData = td
+	}
+	if td.twin == nil {
+		frame := d.state[node].space.Frame(e.Page)
+		if frame == nil {
+			panic("core: EnsureTwin without a local copy")
+		}
+		td.twin = memory.MakeTwin(frame.Data)
+	}
+}
+
+// HasTwin reports whether the entry currently holds a twin.
+func HasTwin(e *Entry) bool {
+	td, _ := e.ProtoData.(*twinData)
+	return td != nil && td.twin != nil
+}
+
+// TwinDiff computes the diff of the local page against its twin and discards
+// the twin. Returns nil if there is no twin or no modification. Call with
+// the entry lock held.
+func TwinDiff(d *DSM, node int, e *Entry) *memory.Diff {
+	td, _ := e.ProtoData.(*twinData)
+	if td == nil || td.twin == nil {
+		return nil
+	}
+	frame := d.state[node].space.Frame(e.Page)
+	if frame == nil {
+		td.twin = nil
+		return nil
+	}
+	diff := memory.ComputeDiff(e.Page, td.twin, frame.Data, d.costs.DiffGap)
+	td.twin = nil
+	if diff.Empty() {
+		return nil
+	}
+	return diff
+}
+
+// RecordPut appends an on-the-fly diff entry for a write of buf at addr
+// (field-granularity recording through the put primitive). Call with the
+// entry lock held.
+func RecordPut(d *DSM, e *Entry, addr Addr, buf []byte) {
+	td, _ := e.ProtoData.(*twinData)
+	if td == nil {
+		td = &twinData{}
+		e.ProtoData = td
+	}
+	if td.dirty == nil {
+		td.dirty = &memory.Diff{Page: e.Page}
+	}
+	off := int(uint64(addr) % uint64(PageSize))
+	td.dirty.MergeRecorded(off, buf)
+}
+
+// TakeRecorded removes and returns the on-the-fly recorded diff, or nil.
+// Call with the entry lock held.
+func TakeRecorded(e *Entry) *memory.Diff {
+	td, _ := e.ProtoData.(*twinData)
+	if td == nil || td.dirty == nil {
+		return nil
+	}
+	diff := td.dirty
+	td.dirty = nil
+	if diff.Empty() {
+		return nil
+	}
+	return diff
+}
+
+// SendDiffsHome ships diffs to dest and blocks until applied when wait is
+// true (lock-release semantics require the home to have the modifications
+// before the release completes).
+func SendDiffsHome(d *DSM, t *pm2.Thread, dest int, diffs []*memory.Diff, wait bool) {
+	if len(diffs) == 0 {
+		return
+	}
+	d.sendDiffs(t, dest, diffs, wait)
+}
+
+// ApplyDiffs patches the local copies with arriving diffs; the standard body
+// of a home node's DiffServer.
+func ApplyDiffs(dm *DiffMsg) {
+	d, t := dm.DSM, dm.Thread
+	for _, df := range dm.Diffs {
+		e := d.Entry(dm.Node, df.Page)
+		e.Lock(t)
+		frame := d.state[dm.Node].space.Frame(df.Page)
+		if frame != nil {
+			memory.ApplyDiff(frame.Data, df)
+		}
+		e.Unlock(t)
+	}
+}

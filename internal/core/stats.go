@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+
+	"dsmpm2/internal/sim"
+)
+
+// Stats aggregates DSM activity counters across all nodes.
+type Stats struct {
+	Allocs     int
+	AllocBytes int64
+
+	ReadFaults  int64
+	WriteFaults int64
+
+	Requests      int64
+	PageSends     int64
+	PageBytes     int64
+	Invalidations int64
+	DiffsSent     int64
+	DiffBytes     int64
+
+	Acquires int64
+	Releases int64
+	Barriers int64
+
+	GetOps     int64
+	PutOps     int64
+	ObjFetches int64
+
+	Migrations int64
+}
+
+// Stats returns a snapshot of the DSM's counters.
+func (d *DSM) Stats() Stats { return d.stats }
+
+// FaultsOn reports the number of faults (read and write) taken by threads
+// while located on node. The per-node distribution exposes the load
+// imbalance Figure 4 attributes to migrate_thread: after the threads pile
+// onto the bound's owner, faults stop occurring anywhere else.
+func (d *DSM) FaultsOn(node int) int64 {
+	if node < 0 || node >= len(d.nodeFaults) {
+		return 0
+	}
+	return d.nodeFaults[node]
+}
+
+// CountMigration is called by the toolbox when a protocol migrates a thread.
+func (d *DSM) CountMigration() { d.stats.Migrations++ }
+
+// CountObjFetch is called by object protocols when a get/put misses the
+// local cache and fetches the page.
+func (d *DSM) CountObjFetch() { d.stats.ObjFetches++ }
+
+// FaultTiming decomposes one fault's handling into the steps of the paper's
+// Tables 3 and 4. Page-policy faults fill Request/Transfer/Server/Install;
+// migration-policy faults fill Migration/Overhead. All durations are
+// virtual time.
+type FaultTiming struct {
+	Start    sim.Time
+	Protocol string
+	Write    bool
+
+	Detect    sim.Duration // signal catch + parameter extraction (11us)
+	Request   sim.Duration // control message to the owner
+	Server    sim.Duration // request processing on the owner node
+	Transfer  sim.Duration // page transfer back
+	Install   sim.Duration // page installation on the requester
+	Migration sim.Duration // thread migration (migration policy)
+	Overhead  sim.Duration // handler overhead (migration policy)
+
+	Total sim.Duration
+}
+
+// ProtocolOverhead returns the part of the fault the paper's tables report
+// as "Protocol overhead": server + install for page policies, the handler
+// overhead for migration policies.
+func (ft *FaultTiming) ProtocolOverhead() sim.Duration {
+	if ft.Migration > 0 {
+		return ft.Overhead
+	}
+	return ft.Server + ft.Install
+}
+
+// String renders the timing as a compact table row.
+func (ft *FaultTiming) String() string {
+	kind := "read"
+	if ft.Write {
+		kind = "write"
+	}
+	if ft.Migration > 0 {
+		return fmt.Sprintf("%s fault [%s]: fault=%v migration=%v overhead=%v total=%v",
+			kind, ft.Protocol, ft.Detect, ft.Migration, ft.Overhead, ft.Total)
+	}
+	return fmt.Sprintf("%s fault [%s]: fault=%v request=%v transfer=%v overhead=%v total=%v",
+		kind, ft.Protocol, ft.Detect, ft.Request, ft.Transfer, ft.ProtocolOverhead(), ft.Total)
+}
+
+// timingLog is a bounded ring of recent fault timings.
+const timingCap = 4096
+
+// TimingLog holds the most recent fault timings for post-mortem inspection.
+type TimingLog struct {
+	recs []*FaultTiming
+	next int
+	full bool
+}
+
+// Add appends a record, evicting the oldest past capacity.
+func (l *TimingLog) Add(ft *FaultTiming) {
+	if len(l.recs) < timingCap {
+		l.recs = append(l.recs, ft)
+		return
+	}
+	l.recs[l.next] = ft
+	l.next = (l.next + 1) % timingCap
+	l.full = true
+}
+
+// All returns the stored records, oldest first.
+func (l *TimingLog) All() []*FaultTiming {
+	if !l.full {
+		return append([]*FaultTiming(nil), l.recs...)
+	}
+	out := make([]*FaultTiming, 0, len(l.recs))
+	out = append(out, l.recs[l.next:]...)
+	out = append(out, l.recs[:l.next]...)
+	return out
+}
+
+// Len reports the number of stored records.
+func (l *TimingLog) Len() int { return len(l.recs) }
+
+// timings is the DSM-wide log instance.
+func (d *DSM) Timings() *TimingLog { return &d.timings }
+
+// MeanTiming averages the stored fault timings matching the given protocol
+// name ("" matches all). It returns the mean record and the match count.
+func (l *TimingLog) MeanTiming(protocol string) (FaultTiming, int) {
+	var sum FaultTiming
+	n := 0
+	for _, ft := range l.All() {
+		if protocol != "" && ft.Protocol != protocol {
+			continue
+		}
+		sum.Detect += ft.Detect
+		sum.Request += ft.Request
+		sum.Server += ft.Server
+		sum.Transfer += ft.Transfer
+		sum.Install += ft.Install
+		sum.Migration += ft.Migration
+		sum.Overhead += ft.Overhead
+		sum.Total += ft.Total
+		n++
+	}
+	if n == 0 {
+		return FaultTiming{}, 0
+	}
+	div := sim.Duration(n)
+	sum.Detect /= div
+	sum.Request /= div
+	sum.Server /= div
+	sum.Transfer /= div
+	sum.Install /= div
+	sum.Migration /= div
+	sum.Overhead /= div
+	sum.Total /= div
+	sum.Protocol = protocol
+	return sum, n
+}

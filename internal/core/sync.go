@@ -1,0 +1,200 @@
+package core
+
+import (
+	"fmt"
+
+	"dsmpm2/internal/pm2"
+	"dsmpm2/internal/sim"
+)
+
+// Synchronization objects of the generic core (Section 2.2, "Synchronization
+// and consistency"): cluster-wide locks and barriers whose acquire/release
+// events trigger the consistency actions of weak models. Each lock lives on
+// a manager (home) node; acquire and release are RPCs to it, and grants are
+// FIFO.
+
+// lockState is the manager-side state of one DSM lock.
+type lockState struct {
+	id      int
+	home    int
+	held    bool
+	holder  int // node id of current holder, for diagnostics
+	waiters []*sim.Chan
+	bound   []Page // pages associated via BindLock (entry consistency)
+}
+
+// barrierState is the manager-side state of one DSM barrier.
+type barrierState struct {
+	id      int
+	home    int
+	n       int
+	arrived int
+	waiters []*sim.Chan
+}
+
+// NewLock creates a cluster-wide lock managed by node home and returns its
+// id.
+func (d *DSM) NewLock(home int) int {
+	if home < 0 || home >= d.rt.Nodes() {
+		panic(fmt.Sprintf("core: lock home %d out of range", home))
+	}
+	id := len(d.locks)
+	d.locks = append(d.locks, &lockState{id: id, home: home, holder: -1})
+	return id
+}
+
+// BindLock associates a shared area with a lock, for entry-consistency
+// protocols: the pages of the area are guaranteed consistent only to holders
+// of that lock, so acquire/release actions can restrict their consistency
+// work to the bound pages (Midway-style entry consistency; the paper's core
+// requirement list names entry consistency alongside release and scope).
+func (d *DSM) BindLock(id int, base Addr, size int) {
+	if id < 0 || id >= len(d.locks) {
+		panic(fmt.Sprintf("core: bind to unknown lock %d", id))
+	}
+	space := d.state[0].space
+	first := space.PageOf(base)
+	last := space.PageOf(base + Addr(size-1))
+	ls := d.locks[id]
+	for pg := first; pg <= last; pg++ {
+		if _, ok := d.allocInfo[pg]; !ok {
+			panic(fmt.Sprintf("core: binding unallocated page %d to lock %d", pg, id))
+		}
+		ls.bound = append(ls.bound, pg)
+	}
+}
+
+// BoundPages returns the pages bound to lock id (empty for unbound locks).
+func (d *DSM) BoundPages(id int) []Page {
+	if id < 0 || id >= len(d.locks) {
+		return nil
+	}
+	return d.locks[id].bound
+}
+
+// NewBarrier creates a cluster-wide barrier for n participants, managed by
+// node 0, and returns its id.
+func (d *DSM) NewBarrier(n int) int {
+	if n < 1 {
+		panic("core: barrier participant count must be >= 1")
+	}
+	id := len(d.barriers)
+	d.barriers = append(d.barriers, &barrierState{id: id, home: 0, n: n})
+	return id
+}
+
+// lockReq/barrierReq are the wire payloads of synchronization RPCs.
+type lockReq struct {
+	id   int
+	from int
+}
+type barrierReq struct {
+	id   int
+	from int
+}
+
+// registerSyncServices installs the lock and barrier managers on each node.
+// Handlers are threaded: a blocked acquire must not prevent the manager from
+// processing other requests.
+func (d *DSM) registerSyncServices() {
+	for i := 0; i < d.rt.Nodes(); i++ {
+		node := d.rt.Node(i)
+
+		node.Register(svcLockAcq, true, func(h *pm2.Thread, arg interface{}) interface{} {
+			req := arg.(*lockReq)
+			ls := d.locks[req.id]
+			if ls.held {
+				ch := new(sim.Chan)
+				ls.waiters = append(ls.waiters, ch)
+				ch.Recv(h.Proc()) // granted by a release
+			} else {
+				ls.held = true
+			}
+			ls.holder = req.from
+			return nil
+		})
+
+		node.Register(svcLockRel, true, func(h *pm2.Thread, arg interface{}) interface{} {
+			req := arg.(*lockReq)
+			ls := d.locks[req.id]
+			if !ls.held {
+				return fmt.Sprintf("core: release of unheld lock %d by node %d", req.id, req.from)
+			}
+			if len(ls.waiters) > 0 {
+				next := ls.waiters[0]
+				ls.waiters = ls.waiters[1:]
+				next.Push(nil) // hand the lock over
+			} else {
+				ls.held = false
+				ls.holder = -1
+			}
+			return nil
+		})
+
+		node.Register(svcBarrier, true, func(h *pm2.Thread, arg interface{}) interface{} {
+			req := arg.(*barrierReq)
+			bs := d.barriers[req.id]
+			bs.arrived++
+			if bs.arrived == bs.n {
+				bs.arrived = 0
+				for _, w := range bs.waiters {
+					w.Push(nil)
+				}
+				bs.waiters = nil
+				return nil
+			}
+			ch := new(sim.Chan)
+			bs.waiters = append(bs.waiters, ch)
+			ch.Recv(h.Proc())
+			return nil
+		})
+
+		d.registerCondServices(node)
+	}
+}
+
+// Acquire takes the DSM lock id on behalf of t, blocking until granted, then
+// runs every active protocol's lock_acquire action — "called after having
+// acquired a lock".
+func (d *DSM) Acquire(t *pm2.Thread, id int) {
+	if id < 0 || id >= len(d.locks) {
+		panic(fmt.Sprintf("core: acquire of unknown lock %d", id))
+	}
+	d.stats.Acquires++
+	t.Call(d.locks[id].home, svcLockAcq, &lockReq{id: id, from: t.Node()}, ctrlBytes, ctrlBytes)
+	ev := &SyncEvent{DSM: d, Thread: t, Node: t.Node(), Lock: id}
+	d.eachInstance(func(p Protocol) { p.LockAcquire(ev) })
+}
+
+// Release runs every active protocol's lock_release action — "called before
+// releasing a lock" — then releases the DSM lock id.
+func (d *DSM) Release(t *pm2.Thread, id int) {
+	if id < 0 || id >= len(d.locks) {
+		panic(fmt.Sprintf("core: release of unknown lock %d", id))
+	}
+	d.stats.Releases++
+	ev := &SyncEvent{DSM: d, Thread: t, Node: t.Node(), Lock: id}
+	d.eachInstance(func(p Protocol) { p.LockRelease(ev) })
+	res := t.Call(d.locks[id].home, svcLockRel, &lockReq{id: id, from: t.Node()}, ctrlBytes, ctrlBytes)
+	if msg, bad := res.(string); bad {
+		panic(msg) // misuse reported on the releasing thread, where it belongs
+	}
+}
+
+// Barrier blocks t until all participants of barrier id arrive. A barrier
+// is a release followed by an acquire for consistency purposes, so the
+// protocols' release actions run before the wait and their acquire actions
+// after it.
+func (d *DSM) Barrier(t *pm2.Thread, id int) {
+	if id < 0 || id >= len(d.barriers) {
+		panic(fmt.Sprintf("core: wait on unknown barrier %d", id))
+	}
+	d.stats.Barriers++
+	ev := &SyncEvent{DSM: d, Thread: t, Node: t.Node(), Lock: id, Barrier: true}
+	d.eachInstance(func(p Protocol) { p.LockRelease(ev) })
+	t.Call(d.barriers[id].home, svcBarrier, &barrierReq{id: id, from: t.Node()}, ctrlBytes, ctrlBytes)
+	d.eachInstance(func(p Protocol) { p.LockAcquire(ev) })
+}
+
+// LockHome reports the manager node of lock id (tests and tools).
+func (d *DSM) LockHome(id int) int { return d.locks[id].home }

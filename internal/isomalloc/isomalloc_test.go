@@ -1,0 +1,175 @@
+package isomalloc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocPageAligned(t *testing.T) {
+	a := New(4, 4096)
+	r, err := a.Alloc(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size != 4096 {
+		t.Fatalf("100-byte alloc rounded to %d, want 4096", r.Size)
+	}
+	if r.Base%4096 != 0 {
+		t.Fatalf("base %#x not page aligned", r.Base)
+	}
+}
+
+func TestAllocDistinctRanges(t *testing.T) {
+	a := New(2, 4096)
+	r1, _ := a.Alloc(0, 4096)
+	r2, _ := a.Alloc(0, 8192)
+	if r1.End() > r2.Base && r2.End() > r1.Base {
+		t.Fatalf("overlapping allocations %+v %+v", r1, r2)
+	}
+}
+
+func TestCrossNodeSlicesDisjoint(t *testing.T) {
+	a := New(4, 4096)
+	var ranges []Range
+	for n := 0; n < 4; n++ {
+		for i := 0; i < 8; i++ {
+			r, err := a.Alloc(n, 4096*(i+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ranges = append(ranges, r)
+		}
+	}
+	for i := range ranges {
+		for j := i + 1; j < len(ranges); j++ {
+			if ranges[i].End() > ranges[j].Base && ranges[j].End() > ranges[i].Base {
+				t.Fatalf("iso-address violation: %+v overlaps %+v", ranges[i], ranges[j])
+			}
+		}
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	a := New(1, 4096)
+	r1, _ := a.Alloc(0, 4096)
+	if err := a.Free(r1.Base); err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := a.Alloc(0, 4096)
+	if r2.Base != r1.Base {
+		t.Fatalf("freed range not reused: got %#x, want %#x", r2.Base, r1.Base)
+	}
+}
+
+func TestFreeSplitsLargeBlock(t *testing.T) {
+	a := New(1, 4096)
+	r1, _ := a.Alloc(0, 4*4096)
+	a.Free(r1.Base)
+	r2, _ := a.Alloc(0, 4096)
+	r3, _ := a.Alloc(0, 4096)
+	if r2.Base != r1.Base {
+		t.Fatalf("first-fit did not reuse freed block")
+	}
+	if r3.Base != r1.Base+4096 {
+		t.Fatalf("split remainder not reused: got %#x", r3.Base)
+	}
+}
+
+func TestDoubleFree(t *testing.T) {
+	a := New(1, 4096)
+	r, _ := a.Alloc(0, 4096)
+	if err := a.Free(r.Base); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(r.Base); err != ErrBadFree {
+		t.Fatalf("double free returned %v, want ErrBadFree", err)
+	}
+}
+
+func TestBadArgs(t *testing.T) {
+	a := New(2, 4096)
+	if _, err := a.Alloc(5, 4096); err == nil {
+		t.Error("alloc on bad node succeeded")
+	}
+	if _, err := a.Alloc(0, 0); err == nil {
+		t.Error("zero-size alloc succeeded")
+	}
+	if _, err := a.Alloc(0, -4); err == nil {
+		t.Error("negative-size alloc succeeded")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	a := New(2, 4096)
+	r, _ := a.Alloc(1, 8192)
+	got, ok := a.Lookup(r.Base + 5000)
+	if !ok || got.Base != r.Base {
+		t.Fatalf("lookup inside range failed: %+v %v", got, ok)
+	}
+	if _, ok := a.Lookup(r.End()); ok {
+		t.Fatal("lookup past end succeeded")
+	}
+}
+
+func TestOwnerSlice(t *testing.T) {
+	a := New(3, 4096)
+	for n := 0; n < 3; n++ {
+		r, _ := a.Alloc(n, 4096)
+		if got := a.OwnerSlice(r.Base); got != n {
+			t.Fatalf("OwnerSlice(%#x) = %d, want %d", r.Base, got, n)
+		}
+	}
+	if a.OwnerSlice(StaticBase) != -1 {
+		t.Fatal("static base attributed to a node slice")
+	}
+}
+
+func TestLiveSorted(t *testing.T) {
+	a := New(2, 4096)
+	a.Alloc(1, 4096)
+	a.Alloc(0, 4096)
+	a.Alloc(0, 4096)
+	live := a.Live()
+	if len(live) != 3 {
+		t.Fatalf("live count = %d, want 3", len(live))
+	}
+	for i := 1; i < len(live); i++ {
+		if live[i].Base < live[i-1].Base {
+			t.Fatal("Live() not sorted")
+		}
+	}
+}
+
+// Property: any sequence of allocations across nodes yields pairwise-disjoint
+// page-aligned ranges.
+func TestDisjointnessProperty(t *testing.T) {
+	f := func(sizes []uint16, nodes []uint8) bool {
+		a := New(4, 4096)
+		var got []Range
+		for i, s := range sizes {
+			if i >= len(nodes) || i > 32 {
+				break
+			}
+			size := int(s)%65536 + 1
+			r, err := a.Alloc(int(nodes[i])%4, size)
+			if err != nil {
+				return false
+			}
+			if r.Base%4096 != 0 || r.Size%4096 != 0 {
+				return false
+			}
+			got = append(got, r)
+		}
+		for i := range got {
+			for j := i + 1; j < len(got); j++ {
+				if got[i].End() > got[j].Base && got[j].End() > got[i].Base {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package madeleine
+
+import (
+	"testing"
+
+	"dsmpm2/internal/sim"
+)
+
+func TestNICModelSerializesOutboundBulk(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := NewNetwork(eng, BIPMyrinet, 2)
+	nw.SetNICModel(true)
+	var arrivals []sim.Time
+	eng.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			nw.Recv(p, 1, "ch")
+			arrivals = append(arrivals, p.Now())
+		}
+	})
+	eng.Go("send", func(p *sim.Proc) {
+		nw.SendBulk(0, 1, "ch", 4096, nil)
+		nw.SendBulk(0, 1, "ch", 4096, nil) // queues behind the first
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	gap := arrivals[1].Sub(arrivals[0])
+	tx := sim.Duration(4096 * BIPMyrinet.PerByte)
+	// The second transfer departs one byte-time after the first.
+	if gap < tx-sim.Microsecond || gap > tx+sim.Microsecond {
+		t.Fatalf("arrival gap = %v, want one 4KiB byte time (~%v)", gap, tx)
+	}
+}
+
+func TestNICModelOffNoSerialization(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := NewNetwork(eng, BIPMyrinet, 2)
+	var arrivals []sim.Time
+	eng.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			nw.Recv(p, 1, "ch")
+			arrivals = append(arrivals, p.Now())
+		}
+	})
+	eng.Go("send", func(p *sim.Proc) {
+		nw.SendBulk(0, 1, "ch", 4096, nil)
+		nw.SendBulk(0, 1, "ch", 4096, nil)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrivals[0] != arrivals[1] {
+		t.Fatalf("without NIC model the transfers should overlap: %v", arrivals)
+	}
+}
+
+func TestNICModelIndependentSenders(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := NewNetwork(eng, BIPMyrinet, 3)
+	nw.SetNICModel(true)
+	var arrivals []sim.Time
+	eng.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			nw.Recv(p, 2, "ch")
+			arrivals = append(arrivals, p.Now())
+		}
+	})
+	eng.Go("send", func(p *sim.Proc) {
+		nw.SendBulk(0, 2, "ch", 4096, nil)
+		nw.SendBulk(1, 2, "ch", 4096, nil) // different NIC: no queueing
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if arrivals[0] != arrivals[1] {
+		t.Fatalf("different senders must not serialize: %v", arrivals)
+	}
+}
+
+func TestNICModelControlMessagesCheap(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := NewNetwork(eng, SISCISCI, 2)
+	nw.SetNICModel(true)
+	var arrivals []sim.Time
+	eng.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			nw.Recv(p, 1, "ch")
+			arrivals = append(arrivals, p.Now())
+		}
+	})
+	eng.Go("send", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			nw.SendCtrl(0, 1, "ch", nil)
+		}
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 10 control messages occupy the link for 64 bytes each; total added
+	// delay must stay tiny compared to the base latency.
+	spread := arrivals[9].Sub(arrivals[0])
+	if spread > sim.Duration(10*64*SISCISCI.PerByte)+sim.Microsecond {
+		t.Fatalf("control messages over-serialized: spread %v", spread)
+	}
+}

@@ -1,0 +1,107 @@
+package memory
+
+// Twin/diff machinery for multiple-writer protocols.
+//
+// hbrc_mw uses the classical twinning technique (Keleher et al.): before the
+// first write to a non-home copy the page is duplicated (the twin); at
+// release time the current contents are compared against the twin and only
+// the modified words — the diff — travel to the home node. The Java
+// protocols record diffs on the fly at object-field granularity through the
+// put primitive, producing the same DiffEntry representation.
+
+// DiffEntry is one modified byte range within a page.
+type DiffEntry struct {
+	Off  int
+	Data []byte
+}
+
+// Diff is the set of modifications made to one page.
+type Diff struct {
+	Page    Page
+	Entries []DiffEntry
+}
+
+// Size returns the number of payload bytes the diff occupies on the wire
+// (entry headers are counted at 8 bytes apiece, matching the real encoding).
+func (d *Diff) Size() int {
+	n := 8 // page header
+	for _, e := range d.Entries {
+		n += 8 + len(e.Data)
+	}
+	return n
+}
+
+// Empty reports whether the diff carries no modifications.
+func (d *Diff) Empty() bool { return len(d.Entries) == 0 }
+
+// MakeTwin returns a private copy of the page contents.
+func MakeTwin(data []byte) []byte {
+	twin := make([]byte, len(data))
+	copy(twin, data)
+	return twin
+}
+
+// ComputeDiff compares cur against twin and returns the modified ranges.
+// Adjacent modified bytes coalesce into a single entry, with runs of up to
+// gap unmodified bytes absorbed to reduce entry overhead (gap 0 yields exact
+// diffs; the DSM layer uses a small gap like 8 to mimic word-granularity
+// diffing).
+func ComputeDiff(pg Page, twin, cur []byte, gap int) *Diff {
+	if len(twin) != len(cur) {
+		panic("memory: twin/page length mismatch")
+	}
+	d := &Diff{Page: pg}
+	i := 0
+	for i < len(cur) {
+		if twin[i] == cur[i] {
+			i++
+			continue
+		}
+		start := i
+		last := i // last differing byte seen
+		i++
+		for i < len(cur) {
+			if twin[i] != cur[i] {
+				last = i
+				i++
+				continue
+			}
+			// Look ahead: absorb short clean runs.
+			if i-last <= gap {
+				i++
+				continue
+			}
+			break
+		}
+		entry := DiffEntry{Off: start, Data: append([]byte(nil), cur[start:last+1]...)}
+		d.Entries = append(d.Entries, entry)
+		i = last + 1
+	}
+	return d
+}
+
+// ApplyDiff patches data with the diff's modifications.
+func ApplyDiff(data []byte, d *Diff) {
+	for _, e := range d.Entries {
+		copy(data[e.Off:], e.Data)
+	}
+}
+
+// MergeRecorded appends a write of buf at offset off to d, coalescing with
+// the previous entry when contiguous. This is the on-the-fly diff recording
+// path used by the Java protocols' put primitive.
+func (d *Diff) MergeRecorded(off int, buf []byte) {
+	if n := len(d.Entries); n > 0 {
+		last := &d.Entries[n-1]
+		if last.Off+len(last.Data) == off {
+			last.Data = append(last.Data, buf...)
+			return
+		}
+		// Overlapping rewrite of the same range: patch in place.
+		if off >= last.Off && off+len(buf) <= last.Off+len(last.Data) {
+			copy(last.Data[off-last.Off:], buf)
+			return
+		}
+	}
+	d.Entries = append(d.Entries, DiffEntry{Off: off, Data: append([]byte(nil), buf...)})
+}

@@ -1,0 +1,218 @@
+// Package memory implements the paged software memory that stands in for the
+// hardware MMU of the paper's clusters.
+//
+// The real DSM-PM2 detects shared accesses with mprotect and SIGSEGV. That
+// mechanism is unavailable under the Go runtime (the GC and the scheduler
+// cannot tolerate protected heap pages), so accesses instead go through
+// explicit load/store primitives that check per-page access rights and
+// return a *Fault when the rights are insufficient — the same
+// detect → handle → retry cycle, with the detection cost charged by the DSM
+// layer at the paper's measured 11 us.
+package memory
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"dsmpm2/internal/isomalloc"
+)
+
+// Addr aliases the iso-address space address type.
+type Addr = isomalloc.Addr
+
+// Page identifies a virtual page: Addr / PageSize.
+type Page uint64
+
+// Access is the local access right a node holds on a page, mirroring the
+// rights the real system sets with mprotect.
+type Access uint8
+
+// Access rights, in increasing order of privilege.
+const (
+	NoAccess Access = iota
+	ReadOnly
+	ReadWrite
+)
+
+// String returns the conventional protection-bit spelling of an access right.
+func (a Access) String() string {
+	switch a {
+	case NoAccess:
+		return "---"
+	case ReadOnly:
+		return "r--"
+	case ReadWrite:
+		return "rw-"
+	default:
+		return fmt.Sprintf("Access(%d)", uint8(a))
+	}
+}
+
+// Allows reports whether right a permits the given kind of access.
+func (a Access) Allows(write bool) bool {
+	if write {
+		return a == ReadWrite
+	}
+	return a >= ReadOnly
+}
+
+// Fault describes an access that the current rights do not permit. It plays
+// the role of the SIGSEGV the real system catches: the DSM layer inspects the
+// faulting address and kind and invokes the protocol's fault handler.
+type Fault struct {
+	Addr  Addr
+	Page  Page
+	Write bool
+}
+
+// Error implements the error interface.
+func (f *Fault) Error() string {
+	kind := "read"
+	if f.Write {
+		kind = "write"
+	}
+	return fmt.Sprintf("memory: %s fault at %#x (page %d)", kind, f.Addr, f.Page)
+}
+
+// Frame is one node's local copy of a page, together with the access right
+// currently set on it.
+type Frame struct {
+	Data   []byte
+	Access Access
+}
+
+// Space is one node's view of the shared address space: the set of page
+// frames it currently holds. A page with no frame behaves as NoAccess.
+type Space struct {
+	pageSize int
+	frames   map[Page]*Frame
+}
+
+// NewSpace creates an empty address space view with the given page size.
+func NewSpace(pageSize int) *Space {
+	if pageSize < 8 || pageSize&(pageSize-1) != 0 {
+		panic("memory: page size must be a power of two >= 8")
+	}
+	return &Space{pageSize: pageSize, frames: make(map[Page]*Frame)}
+}
+
+// PageSize returns the page size in bytes.
+func (s *Space) PageSize() int { return s.pageSize }
+
+// PageOf returns the page containing addr.
+func (s *Space) PageOf(addr Addr) Page { return Page(uint64(addr) / uint64(s.pageSize)) }
+
+// Base returns the first address of page pg.
+func (s *Space) Base(pg Page) Addr { return Addr(uint64(pg) * uint64(s.pageSize)) }
+
+// Frame returns the local frame for pg, or nil if the node holds no copy.
+func (s *Space) Frame(pg Page) *Frame { return s.frames[pg] }
+
+// Ensure returns the frame for pg, creating a zeroed NoAccess frame if the
+// node holds none.
+func (s *Space) Ensure(pg Page) *Frame {
+	f := s.frames[pg]
+	if f == nil {
+		f = &Frame{Data: make([]byte, s.pageSize)}
+		s.frames[pg] = f
+	}
+	return f
+}
+
+// Drop discards the local frame for pg (used when a protocol invalidates and
+// reclaims a copy).
+func (s *Space) Drop(pg Page) { delete(s.frames, pg) }
+
+// SetAccess sets the access right on pg, creating the frame if needed.
+func (s *Space) SetAccess(pg Page, a Access) { s.Ensure(pg).Access = a }
+
+// AccessOf returns the access right the node holds on pg.
+func (s *Space) AccessOf(pg Page) Access {
+	if f := s.frames[pg]; f != nil {
+		return f.Access
+	}
+	return NoAccess
+}
+
+// check validates an n-byte access at addr and returns the containing page.
+// Accesses must not straddle a page boundary: DSM-PM2 shares data at page
+// granularity and the runtime allocates objects so they never cross pages.
+func (s *Space) check(addr Addr, n int, write bool) (Page, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("memory: invalid access length %d", n)
+	}
+	pg := s.PageOf(addr)
+	if s.PageOf(addr+Addr(n-1)) != pg {
+		return 0, fmt.Errorf("memory: access [%#x,%#x) straddles a page boundary", addr, addr+Addr(n))
+	}
+	f := s.frames[pg]
+	if f == nil || !f.Access.Allows(write) {
+		return 0, &Fault{Addr: addr, Page: pg, Write: write}
+	}
+	return pg, nil
+}
+
+// Read copies len(buf) bytes starting at addr into buf. It returns a *Fault
+// if the node lacks read access to the page.
+func (s *Space) Read(addr Addr, buf []byte) error {
+	pg, err := s.check(addr, len(buf), false)
+	if err != nil {
+		return err
+	}
+	off := int(uint64(addr) % uint64(s.pageSize))
+	copy(buf, s.frames[pg].Data[off:])
+	return nil
+}
+
+// Write copies buf into memory starting at addr. It returns a *Fault if the
+// node lacks write access to the page.
+func (s *Space) Write(addr Addr, buf []byte) error {
+	pg, err := s.check(addr, len(buf), true)
+	if err != nil {
+		return err
+	}
+	off := int(uint64(addr) % uint64(s.pageSize))
+	copy(s.frames[pg].Data[off:], buf)
+	return nil
+}
+
+// ReadUint32 loads a little-endian uint32 at addr.
+func (s *Space) ReadUint32(addr Addr) (uint32, error) {
+	var b [4]byte
+	if err := s.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+// WriteUint32 stores a little-endian uint32 at addr.
+func (s *Space) WriteUint32(addr Addr, v uint32) error {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return s.Write(addr, b[:])
+}
+
+// ReadUint64 loads a little-endian uint64 at addr.
+func (s *Space) ReadUint64(addr Addr) (uint64, error) {
+	var b [8]byte
+	if err := s.Read(addr, b[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b[:]), nil
+}
+
+// WriteUint64 stores a little-endian uint64 at addr.
+func (s *Space) WriteUint64(addr Addr, v uint64) error {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return s.Write(addr, b[:])
+}
+
+// Pages returns the pages for which this node currently holds a frame.
+func (s *Space) Pages() []Page {
+	out := make([]Page, 0, len(s.frames))
+	for pg := range s.frames {
+		out = append(out, pg)
+	}
+	return out
+}

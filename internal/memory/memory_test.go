@@ -1,0 +1,279 @@
+package memory
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccessOrdering(t *testing.T) {
+	if NoAccess.Allows(false) || NoAccess.Allows(true) {
+		t.Error("NoAccess allows something")
+	}
+	if !ReadOnly.Allows(false) || ReadOnly.Allows(true) {
+		t.Error("ReadOnly rights wrong")
+	}
+	if !ReadWrite.Allows(false) || !ReadWrite.Allows(true) {
+		t.Error("ReadWrite rights wrong")
+	}
+}
+
+func TestAccessString(t *testing.T) {
+	for a, want := range map[Access]string{NoAccess: "---", ReadOnly: "r--", ReadWrite: "rw-"} {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q, want %q", a, a.String(), want)
+		}
+	}
+}
+
+func TestReadFaultOnMissingPage(t *testing.T) {
+	s := NewSpace(4096)
+	var buf [4]byte
+	err := s.Read(100, buf[:])
+	var f *Fault
+	if !errors.As(err, &f) {
+		t.Fatalf("read of unmapped page returned %v, want *Fault", err)
+	}
+	if f.Write || f.Page != 0 || f.Addr != 100 {
+		t.Fatalf("fault = %+v", f)
+	}
+}
+
+func TestWriteFaultOnReadOnly(t *testing.T) {
+	s := NewSpace(4096)
+	s.SetAccess(0, ReadOnly)
+	var buf [4]byte
+	if err := s.Read(0, buf[:]); err != nil {
+		t.Fatalf("read on r-- page faulted: %v", err)
+	}
+	err := s.Write(0, buf[:])
+	var f *Fault
+	if !errors.As(err, &f) || !f.Write {
+		t.Fatalf("write on r-- page returned %v, want write *Fault", err)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := NewSpace(4096)
+	s.SetAccess(1, ReadWrite)
+	base := s.Base(1)
+	if err := s.WriteUint32(base+12, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.ReadUint32(base + 12)
+	if err != nil || v != 0xdeadbeef {
+		t.Fatalf("round trip = %#x, %v", v, err)
+	}
+	if err := s.WriteUint64(base+40, 1<<60); err != nil {
+		t.Fatal(err)
+	}
+	v64, err := s.ReadUint64(base + 40)
+	if err != nil || v64 != 1<<60 {
+		t.Fatalf("u64 round trip = %#x, %v", v64, err)
+	}
+}
+
+func TestStraddleRejected(t *testing.T) {
+	s := NewSpace(4096)
+	s.SetAccess(0, ReadWrite)
+	s.SetAccess(1, ReadWrite)
+	var buf [8]byte
+	if err := s.Write(4092, buf[:]); err == nil {
+		t.Fatal("page-straddling access succeeded")
+	}
+}
+
+func TestZeroLengthRejected(t *testing.T) {
+	s := NewSpace(4096)
+	s.SetAccess(0, ReadWrite)
+	if err := s.Read(0, nil); err == nil {
+		t.Fatal("zero-length read succeeded")
+	}
+}
+
+func TestDropRevokesAccess(t *testing.T) {
+	s := NewSpace(4096)
+	s.SetAccess(0, ReadWrite)
+	s.Drop(0)
+	if s.AccessOf(0) != NoAccess {
+		t.Fatal("dropped page still accessible")
+	}
+	if s.Frame(0) != nil {
+		t.Fatal("dropped page still has a frame")
+	}
+}
+
+func TestEnsureZeroed(t *testing.T) {
+	s := NewSpace(4096)
+	f := s.Ensure(7)
+	for _, b := range f.Data {
+		if b != 0 {
+			t.Fatal("fresh frame not zeroed")
+		}
+	}
+	if f.Access != NoAccess {
+		t.Fatal("fresh frame not NoAccess")
+	}
+	if s.Ensure(7) != f {
+		t.Fatal("Ensure created a duplicate frame")
+	}
+}
+
+func TestPageOfBase(t *testing.T) {
+	s := NewSpace(4096)
+	if s.PageOf(4095) != 0 || s.PageOf(4096) != 1 {
+		t.Fatal("PageOf boundary wrong")
+	}
+	if s.Base(3) != 3*4096 {
+		t.Fatal("Base wrong")
+	}
+}
+
+func TestBadPageSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-power-of-two page size accepted")
+		}
+	}()
+	NewSpace(1000)
+}
+
+func TestFaultErrorMessage(t *testing.T) {
+	f := &Fault{Addr: 0x2000, Page: 2, Write: true}
+	if f.Error() == "" || (&Fault{}).Error() == "" {
+		t.Fatal("empty fault message")
+	}
+}
+
+func TestDiffRoundTripExact(t *testing.T) {
+	orig := make([]byte, 256)
+	cur := make([]byte, 256)
+	for i := range orig {
+		orig[i] = byte(i)
+		cur[i] = byte(i)
+	}
+	twin := MakeTwin(orig)
+	cur[10] = 99
+	cur[11] = 98
+	cur[200] = 1
+	d := ComputeDiff(3, twin, cur, 0)
+	if d.Page != 3 || len(d.Entries) != 2 {
+		t.Fatalf("diff = %+v", d)
+	}
+	ApplyDiff(orig, d)
+	if !bytes.Equal(orig, cur) {
+		t.Fatal("apply(diff) did not reproduce the page")
+	}
+}
+
+func TestDiffGapCoalescing(t *testing.T) {
+	twin := make([]byte, 64)
+	cur := make([]byte, 64)
+	cur[0] = 1
+	cur[4] = 1 // 3 clean bytes between
+	exact := ComputeDiff(0, twin, cur, 0)
+	coarse := ComputeDiff(0, twin, cur, 8)
+	if len(exact.Entries) != 2 {
+		t.Fatalf("exact diff entries = %d, want 2", len(exact.Entries))
+	}
+	if len(coarse.Entries) != 1 {
+		t.Fatalf("gap-8 diff entries = %d, want 1", len(coarse.Entries))
+	}
+	// Both must still reproduce the page.
+	for _, d := range []*Diff{exact, coarse} {
+		page := make([]byte, 64)
+		ApplyDiff(page, d)
+		if !bytes.Equal(page, cur) {
+			t.Fatal("diff does not reproduce page")
+		}
+	}
+}
+
+func TestDiffEmpty(t *testing.T) {
+	twin := make([]byte, 32)
+	cur := make([]byte, 32)
+	d := ComputeDiff(0, twin, cur, 4)
+	if !d.Empty() {
+		t.Fatal("diff of identical pages not empty")
+	}
+	if d.Size() != 8 {
+		t.Fatalf("empty diff size = %d, want header only", d.Size())
+	}
+}
+
+func TestDiffSize(t *testing.T) {
+	d := &Diff{Entries: []DiffEntry{{Off: 0, Data: make([]byte, 10)}}}
+	if d.Size() != 8+8+10 {
+		t.Fatalf("size = %d", d.Size())
+	}
+}
+
+func TestMergeRecordedCoalesces(t *testing.T) {
+	var d Diff
+	d.MergeRecorded(0, []byte{1, 2})
+	d.MergeRecorded(2, []byte{3, 4}) // contiguous: extends
+	if len(d.Entries) != 1 || len(d.Entries[0].Data) != 4 {
+		t.Fatalf("contiguous merge produced %+v", d.Entries)
+	}
+	d.MergeRecorded(1, []byte{9}) // overlapping rewrite: patches
+	if len(d.Entries) != 1 || d.Entries[0].Data[1] != 9 {
+		t.Fatalf("overlap patch produced %+v", d.Entries)
+	}
+	d.MergeRecorded(100, []byte{5}) // disjoint: new entry
+	if len(d.Entries) != 2 {
+		t.Fatalf("disjoint write produced %+v", d.Entries)
+	}
+}
+
+// Property: for random modifications and any gap, applying the diff to the
+// twin reproduces the current page exactly.
+func TestDiffIdentityProperty(t *testing.T) {
+	f := func(seed int64, gap uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		twin := make([]byte, 512)
+		rng.Read(twin)
+		cur := MakeTwin(twin)
+		nmods := rng.Intn(50)
+		for i := 0; i < nmods; i++ {
+			cur[rng.Intn(len(cur))] = byte(rng.Int())
+		}
+		d := ComputeDiff(0, twin, cur, int(gap%16))
+		patched := MakeTwin(twin)
+		ApplyDiff(patched, d)
+		return bytes.Equal(patched, cur)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: diffs never report more payload than the page size and entries
+// are sorted, disjoint and in range.
+func TestDiffWellFormedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		twin := make([]byte, 256)
+		cur := make([]byte, 256)
+		rng.Read(twin)
+		copy(cur, twin)
+		for i := 0; i < rng.Intn(100); i++ {
+			cur[rng.Intn(256)] ^= byte(1 + rng.Intn(255))
+		}
+		d := ComputeDiff(0, twin, cur, 0)
+		prevEnd := -1
+		total := 0
+		for _, e := range d.Entries {
+			if e.Off <= prevEnd || e.Off+len(e.Data) > 256 || len(e.Data) == 0 {
+				return false
+			}
+			prevEnd = e.Off + len(e.Data) - 1
+			total += len(e.Data)
+		}
+		return total <= 256
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

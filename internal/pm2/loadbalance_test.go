@@ -1,0 +1,140 @@
+package pm2
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmpm2/internal/sim"
+)
+
+// spawnImbalanced puts nWorkers compute-heavy migratable threads on node 0
+// of a nodes-node machine and returns their final locations.
+func spawnImbalanced(rt *Runtime, nWorkers int, chunk sim.Duration, chunks int) []*Thread {
+	var ts []*Thread
+	for i := 0; i < nWorkers; i++ {
+		t := rt.CreateThread(0, fmt.Sprintf("worker%d", i), func(th *Thread) {
+			for c := 0; c < chunks; c++ {
+				th.Compute(chunk)
+			}
+		})
+		t.SetMigratable(true)
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+func TestBalancerSpreadsLoad(t *testing.T) {
+	rt := newRT(4, nil)
+	ts := spawnImbalanced(rt, 4, sim.Millisecond, 40)
+	b := rt.StartBalancer(500 * sim.Microsecond)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	perNode := map[int]int{}
+	for _, th := range ts {
+		perNode[th.Node()]++
+	}
+	if len(perNode) < 3 {
+		t.Fatalf("threads ended on only %d nodes (%v); balancer did not spread them", len(perNode), perNode)
+	}
+	if b.Moves == 0 {
+		t.Fatal("balancer made no moves")
+	}
+}
+
+func TestBalancerSpeedsUpImbalancedWork(t *testing.T) {
+	run := func(balance bool) sim.Time {
+		rt := newRT(4, nil)
+		spawnImbalanced(rt, 4, sim.Millisecond, 40)
+		if balance {
+			rt.StartBalancer(500 * sim.Microsecond)
+		}
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Now()
+	}
+	without := run(false)
+	with := run(true)
+	if with >= without {
+		t.Fatalf("balanced run (%v) not faster than imbalanced (%v)", with, without)
+	}
+}
+
+func TestBalancerIgnoresNonMigratable(t *testing.T) {
+	rt := newRT(2, nil)
+	var pinned *Thread
+	pinned = rt.CreateThread(0, "pinned", func(th *Thread) {
+		for c := 0; c < 20; c++ {
+			th.Compute(sim.Millisecond)
+		}
+	})
+	rt.CreateThread(0, "also", func(th *Thread) {
+		for c := 0; c < 20; c++ {
+			th.Compute(sim.Millisecond)
+		}
+	})
+	rt.StartBalancer(500 * sim.Microsecond)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pinned.Node() != 0 {
+		t.Fatal("non-migratable thread was moved")
+	}
+}
+
+func TestBalancerStop(t *testing.T) {
+	rt := newRT(2, nil)
+	b := rt.StartBalancer(100 * sim.Microsecond)
+	b.Stop()
+	ts := spawnImbalanced(rt, 2, sim.Millisecond, 10)
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A stopped balancer makes no (new) moves; both threads stay put.
+	for _, th := range ts {
+		if th.Node() != 0 {
+			t.Fatal("stopped balancer still moved a thread")
+		}
+	}
+}
+
+func TestLoadMeasure(t *testing.T) {
+	rt := newRT(2, nil)
+	rt.CreateThread(0, "a", func(th *Thread) { th.Compute(sim.Millisecond) })
+	rt.CreateThread(0, "b", func(th *Thread) { th.Compute(sim.Millisecond) })
+	rt.CreateThread(1, "c", func(th *Thread) { th.Compute(sim.Millisecond) })
+	if rt.Load(0) != 2 || rt.Load(1) != 1 {
+		t.Fatalf("loads = %d,%d; want 2,1", rt.Load(0), rt.Load(1))
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Load(0) != 0 || rt.Load(1) != 0 {
+		t.Fatal("finished threads still counted as load")
+	}
+}
+
+func TestRequestMigrationHonouredAtSafePoint(t *testing.T) {
+	rt := newRT(2, nil)
+	var where []int
+	th := rt.CreateThread(0, "w", func(t2 *Thread) {
+		t2.Compute(sim.Millisecond)
+		where = append(where, t2.Node())
+		t2.Compute(sim.Millisecond)
+		where = append(where, t2.Node())
+	})
+	th.SetMigratable(true)
+	rt.Engine().Schedule(sim.Time(500*sim.Microsecond), func() {
+		th.RequestMigration(1)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if where[0] != 0 {
+		t.Fatalf("migration happened before the safe point: %v", where)
+	}
+	if where[1] != 1 {
+		t.Fatalf("migration request not honoured: %v", where)
+	}
+}

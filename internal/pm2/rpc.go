@@ -1,0 +1,114 @@
+package pm2
+
+import (
+	"fmt"
+
+	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/sim"
+)
+
+// Handler is the body of an RPC service. It runs in a thread on the node
+// that registered the service; its return value travels back to a
+// synchronous caller (and is discarded for one-way invocations).
+type Handler func(h *Thread, arg interface{}) interface{}
+
+// service is a registered RPC service on one node.
+type service struct {
+	name     string
+	handler  Handler
+	threaded bool
+	node     *Node
+}
+
+// rpcReq is the wire payload of an invocation.
+type rpcReq struct {
+	arg     interface{}
+	reply   *sim.Chan // nil for one-way invocations
+	retSize int
+	from    int
+}
+
+// svcChannel names the madeleine channel carrying requests for a service.
+func svcChannel(name string) string { return "rpc:" + name }
+
+// Register installs an RPC service on the node. If threaded is true, each
+// invocation is handled by a freshly created thread, so invocations proceed
+// concurrently (this is how DSM-PM2's page servers stay reactive); otherwise
+// requests are handled one at a time in the service's dispatcher thread,
+// PM2's "pre-existing thread" flavor.
+func (n *Node) Register(name string, threaded bool, h Handler) {
+	if _, dup := n.services[name]; dup {
+		panic(fmt.Sprintf("pm2: service %q registered twice on node %d", name, n.ID))
+	}
+	svc := &service{name: name, handler: h, threaded: threaded, node: n}
+	n.services[name] = svc
+
+	dispatcher := n.rt.CreateThread(n.ID, fmt.Sprintf("rpcd:%s@%d", name, n.ID), func(t *Thread) {
+		for {
+			msg := n.rt.net.Recv(t.proc, n.ID, svcChannel(name))
+			req := msg.Payload.(*rpcReq)
+			if svc.threaded {
+				n.HandlersSpawned++
+				n.rt.CreateThread(n.ID, fmt.Sprintf("rpch:%s@%d", name, n.ID), func(ht *Thread) {
+					svc.run(ht, req)
+				})
+			} else {
+				svc.run(t, req)
+			}
+		}
+	})
+	dispatcher.Proc().MarkDaemon()
+}
+
+// run executes the handler and sends the reply if one is expected.
+func (svc *service) run(t *Thread, req *rpcReq) {
+	res := svc.handler(t, req.arg)
+	if req.reply != nil {
+		d := svc.node.rt.Profile().RPCBase / 2
+		if req.retSize > 64 {
+			d += svc.node.rt.Profile().Transfer(req.retSize) - svc.node.rt.Profile().XferBase
+		}
+		svc.node.rt.net.SendDirect(req.reply, req.retSize, res, d)
+	}
+}
+
+// Call synchronously invokes service on node dest with the given argument,
+// and blocks until the result arrives. argSize and retSize are the wire
+// sizes used for timing; a null RPC (both small) costs the profile's RPCBase
+// plus handler execution time, matching the Section 2.1 micro-measurements.
+func (t *Thread) Call(dest int, svcName string, arg interface{}, argSize, retSize int) interface{} {
+	rt := t.rt
+	reply := new(sim.Chan)
+	req := &rpcReq{arg: arg, reply: reply, retSize: retSize, from: t.node}
+	d := rt.Profile().RPCBase / 2
+	if argSize > 64 {
+		d += rt.Profile().Transfer(argSize) - rt.Profile().XferBase
+	}
+	rt.net.SendAfter(&madeleine.Message{
+		From:    t.node,
+		To:      dest,
+		Channel: svcChannel(svcName),
+		Size:    argSize,
+		Payload: req,
+	}, d)
+	return reply.Recv(t.proc)
+}
+
+// Async invokes service on node dest without waiting for completion or
+// result. Small arguments are charged at the control-message cost, large
+// ones at the bulk transfer cost; this is the flavor the DSM communication
+// module uses for page requests, page sends and invalidations.
+func (t *Thread) Async(dest int, svcName string, arg interface{}, size int) {
+	t.rt.AsyncFrom(t.node, dest, svcName, arg, size)
+}
+
+// AsyncFrom is Async with an explicit source node; the DSM layer uses it
+// when a server thread answers on behalf of its node.
+func (rt *Runtime) AsyncFrom(from, dest int, svcName string, arg interface{}, size int) {
+	req := &rpcReq{arg: arg}
+	if size > 64 {
+		rt.net.SendBulk(from, dest, svcChannel(svcName), size, req)
+	} else {
+		rt.net.SendCtrl(from, dest, svcChannel(svcName), req)
+	}
+}

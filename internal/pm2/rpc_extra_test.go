@@ -1,0 +1,97 @@
+package pm2
+
+import (
+	"testing"
+
+	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/sim"
+)
+
+func TestBulkRPCSlowerThanNull(t *testing.T) {
+	rt := newRT(2, madeleine.BIPMyrinet)
+	rt.Node(1).Register("echo", false, func(h *Thread, arg interface{}) interface{} {
+		return arg
+	})
+	var nullTook, bulkTook sim.Duration
+	rt.CreateThread(0, "caller", func(th *Thread) {
+		start := th.Now()
+		th.Call(1, "echo", nil, 0, 0)
+		nullTook = th.Now().Sub(start)
+		start = th.Now()
+		th.Call(1, "echo", make([]byte, 4096), 4096, 4096)
+		bulkTook = th.Now().Sub(start)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bulkTook <= nullTook {
+		t.Fatalf("4KiB RPC (%v) not slower than null RPC (%v)", bulkTook, nullTook)
+	}
+}
+
+func TestRPCFromHandlerThread(t *testing.T) {
+	// A threaded handler may itself issue RPCs (protocol servers do this
+	// when forwarding); nesting must not deadlock.
+	rt := newRT(3, nil)
+	rt.Node(2).Register("leaf", false, func(h *Thread, arg interface{}) interface{} {
+		return arg.(int) + 1
+	})
+	rt.Node(1).Register("relay", true, func(h *Thread, arg interface{}) interface{} {
+		return h.Call(2, "leaf", arg, 8, 8)
+	})
+	var got int
+	rt.CreateThread(0, "caller", func(th *Thread) {
+		got = th.Call(1, "relay", 10, 8, 8).(int)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 11 {
+		t.Fatalf("nested RPC = %d, want 11", got)
+	}
+}
+
+func TestManyConcurrentCallers(t *testing.T) {
+	rt := newRT(2, nil)
+	served := 0
+	rt.Node(1).Register("count", true, func(h *Thread, arg interface{}) interface{} {
+		h.Advance(10 * sim.Microsecond)
+		served++
+		return served
+	})
+	const callers = 20
+	for i := 0; i < callers; i++ {
+		rt.CreateThread(0, "c", func(th *Thread) {
+			th.Call(1, "count", nil, 0, 0)
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if served != callers {
+		t.Fatalf("served %d of %d calls", served, callers)
+	}
+}
+
+func TestMigrationDuringComputePreservesWork(t *testing.T) {
+	// A thread migrated between compute chunks must charge each chunk to
+	// the node it is on at that moment.
+	rt := newRT(2, nil)
+	th := rt.CreateThread(0, "w", func(t2 *Thread) {
+		t2.Compute(10 * sim.Microsecond)
+		t2.MigrateTo(1)
+		t2.Compute(10 * sim.Microsecond)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if th.Node() != 1 {
+		t.Fatal("thread not at destination")
+	}
+	if rt.Node(0).CPU.Busy() != 10*sim.Microsecond {
+		t.Fatalf("node 0 CPU busy = %v, want 10us", rt.Node(0).CPU.Busy())
+	}
+	if rt.Node(1).CPU.Busy() != 10*sim.Microsecond {
+		t.Fatalf("node 1 CPU busy = %v, want 10us", rt.Node(1).CPU.Busy())
+	}
+}

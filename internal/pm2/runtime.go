@@ -1,0 +1,108 @@
+// Package pm2 models the PM2 (Parallel Multithreaded Machine) runtime system
+// that DSM-PM2 is layered on: a distributed set of nodes, a POSIX-like
+// user-level thread package (Marcel), an RPC mechanism built on the
+// Madeleine communication library, and preemptive iso-address thread
+// migration (Section 2.1 of the paper).
+package pm2
+
+import (
+	"fmt"
+
+	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/sim"
+)
+
+// DescriptorBytes is the size of a thread descriptor moved along with the
+// stack on migration.
+const DescriptorBytes = 256
+
+// Runtime is a simulated PM2 machine: a cluster of nodes sharing one sim
+// engine and one network.
+type Runtime struct {
+	eng   *sim.Engine
+	net   *madeleine.Network
+	nodes []*Node
+
+	nextThread int
+	threads    []*Thread
+}
+
+// Config describes a PM2 machine.
+type Config struct {
+	Nodes       int
+	CPUsPerNode int // defaults to 1, as in the paper's PII nodes
+	Network     *madeleine.Profile
+	Seed        int64
+}
+
+// NewRuntime builds a PM2 machine from cfg.
+func NewRuntime(cfg Config) *Runtime {
+	if cfg.Nodes < 1 {
+		panic("pm2: need at least one node")
+	}
+	if cfg.CPUsPerNode == 0 {
+		cfg.CPUsPerNode = 1
+	}
+	if cfg.Network == nil {
+		cfg.Network = madeleine.BIPMyrinet
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	rt := &Runtime{
+		eng: eng,
+		net: madeleine.NewNetwork(eng, cfg.Network, cfg.Nodes),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		rt.nodes = append(rt.nodes, &Node{
+			rt:       rt,
+			ID:       i,
+			CPU:      sim.NewResource(cfg.CPUsPerNode),
+			services: make(map[string]*service),
+		})
+	}
+	return rt
+}
+
+// Engine returns the sim engine driving this machine.
+func (rt *Runtime) Engine() *sim.Engine { return rt.eng }
+
+// Network returns the machine's interconnect.
+func (rt *Runtime) Network() *madeleine.Network { return rt.net }
+
+// Profile returns the interconnect cost profile.
+func (rt *Runtime) Profile() *madeleine.Profile { return rt.net.Profile() }
+
+// Nodes reports the number of nodes.
+func (rt *Runtime) Nodes() int { return len(rt.nodes) }
+
+// Node returns node i.
+func (rt *Runtime) Node(i int) *Node {
+	if i < 0 || i >= len(rt.nodes) {
+		panic(fmt.Sprintf("pm2: node %d out of range [0,%d)", i, len(rt.nodes)))
+	}
+	return rt.nodes[i]
+}
+
+// Run drives the machine until all non-daemon threads finish.
+func (rt *Runtime) Run() error { return rt.eng.Run() }
+
+// Now returns the current virtual time.
+func (rt *Runtime) Now() sim.Time { return rt.eng.Now() }
+
+// Node is one computing node of the PM2 machine. Threads located on the
+// node share its CPUs; RPC services registered on it serve remote requests.
+type Node struct {
+	rt  *Runtime
+	ID  int
+	CPU *sim.Resource
+
+	services map[string]*service
+
+	// Stats
+	ThreadsSpawned  int
+	MigrationsIn    int
+	MigrationsOut   int
+	HandlersSpawned int
+}
+
+// Runtime returns the machine this node belongs to.
+func (n *Node) Runtime() *Runtime { return n.rt }

@@ -1,0 +1,178 @@
+package pm2
+
+import (
+	"fmt"
+
+	"dsmpm2/internal/sim"
+)
+
+// Thread is a Marcel-style user-level thread. It executes on a simulated
+// node, consumes that node's CPU for its compute phases, and can migrate
+// preemptively to another node, carrying its stack and descriptor at the
+// same virtual addresses thanks to the iso-address allocation scheme.
+//
+// In this reproduction the goroutine backing the thread never moves — only
+// the thread's simulated location changes, and the migration latency
+// (a function of the stack size, as in Table 4) is charged on the network.
+// DSM protocols only observe the location and the latency, so the semantics
+// they depend on are preserved.
+type Thread struct {
+	proc *sim.Proc
+	rt   *Runtime
+
+	id        int
+	name      string
+	node      int // current simulated location
+	stackSize int
+
+	// tls carries thread-local values (Marcel thread keys).
+	tls map[string]interface{}
+
+	migrations int
+	done       bool
+	joiners    []*sim.Proc
+
+	// Load-balancing state: a pending preemptive migration request and
+	// whether the balancer may move this thread at all.
+	pendingDest int
+	migratable  bool
+}
+
+// DefaultStackSize matches the paper's "very small" test-thread stack of
+// about 1 KiB; applications may ask for more via CreateThreadStack.
+const DefaultStackSize = 1024
+
+// CreateThread starts fn in a new thread on the given node with the default
+// stack size.
+func (rt *Runtime) CreateThread(node int, name string, fn func(t *Thread)) *Thread {
+	return rt.CreateThreadStack(node, name, DefaultStackSize, fn)
+}
+
+// CreateThreadStack starts fn in a new thread on node with an explicit stack
+// size in bytes. The stack size drives migration cost.
+func (rt *Runtime) CreateThreadStack(node int, name string, stack int, fn func(t *Thread)) *Thread {
+	if stack <= 0 {
+		stack = DefaultStackSize
+	}
+	rt.Node(node) // validate
+	rt.nextThread++
+	t := &Thread{
+		rt:          rt,
+		id:          rt.nextThread,
+		name:        name,
+		node:        node,
+		stackSize:   stack,
+		pendingDest: -1,
+	}
+	rt.threads = append(rt.threads, t)
+	t.proc = rt.eng.Go(name, func(p *sim.Proc) {
+		fn(t)
+		t.done = true
+		for _, j := range t.joiners {
+			j.Unpark()
+		}
+		t.joiners = nil
+	})
+	t.proc.Local = t
+	rt.nodes[node].ThreadsSpawned++
+	return t
+}
+
+// FromProc recovers the Thread a proc is running, or nil for bare procs.
+func FromProc(p *sim.Proc) *Thread {
+	t, _ := p.Local.(*Thread)
+	return t
+}
+
+// ID returns the thread's machine-wide id.
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// Proc exposes the underlying sim proc.
+func (t *Thread) Proc() *sim.Proc { return t.proc }
+
+// Runtime returns the machine the thread runs on.
+func (t *Thread) Runtime() *Runtime { return t.rt }
+
+// Node returns the node the thread is currently located on.
+func (t *Thread) Node() int { return t.node }
+
+// StackSize returns the thread's stack size in bytes.
+func (t *Thread) StackSize() int { return t.stackSize }
+
+// Migrations returns how many times the thread has migrated.
+func (t *Thread) Migrations() int { return t.migrations }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() sim.Time { return t.proc.Now() }
+
+// Advance consumes virtual time without occupying a CPU (waiting, message
+// latencies charged by lower layers, etc.).
+func (t *Thread) Advance(d sim.Duration) { t.proc.Advance(d) }
+
+// Compute charges d of CPU time on the thread's current node. Threads
+// sharing a node serialize here, which is how the load imbalance effects of
+// Section 4 (Figure 4) arise. Compute boundaries are safe points: a pending
+// balancer migration is honoured before the work is charged.
+func (t *Thread) Compute(d sim.Duration) {
+	t.checkPreempt()
+	t.rt.nodes[t.node].CPU.Use(t.proc, d)
+}
+
+// Yield lets other runnable threads at the same virtual time proceed. Yield
+// is a safe point for preemptive migration.
+func (t *Thread) Yield() {
+	t.checkPreempt()
+	t.proc.Yield()
+}
+
+// SetTLS stores a thread-local value under key.
+func (t *Thread) SetTLS(key string, v interface{}) {
+	if t.tls == nil {
+		t.tls = make(map[string]interface{})
+	}
+	t.tls[key] = v
+}
+
+// TLS fetches a thread-local value.
+func (t *Thread) TLS(key string) interface{} {
+	if t.tls == nil {
+		return nil
+	}
+	return t.tls[key]
+}
+
+// MigrateTo moves the thread to node dest, charging the migration latency
+// for its stack plus descriptor, as the PM2 migration mechanism does. The
+// iso-address guarantee means the thread resumes with all its pointers
+// valid. Migrating to the current node is a no-op.
+func (t *Thread) MigrateTo(dest int) {
+	if dest == t.node {
+		return
+	}
+	t.rt.Node(dest) // validate
+	src := t.node
+	cost := t.rt.Profile().Migration(t.stackSize + DescriptorBytes)
+	t.proc.Advance(cost)
+	t.node = dest
+	t.migrations++
+	t.rt.nodes[src].MigrationsOut++
+	t.rt.nodes[dest].MigrationsIn++
+}
+
+// Join blocks until other finishes. A thread must not join itself.
+func (t *Thread) Join(other *Thread) {
+	if other == t {
+		panic(fmt.Sprintf("pm2: thread %q joining itself", t.name))
+	}
+	if other.done {
+		return
+	}
+	other.joiners = append(other.joiners, t.proc)
+	t.proc.Park("join " + other.name)
+}
+
+// Done reports whether the thread's function has returned.
+func (t *Thread) Done() bool { return t.done }

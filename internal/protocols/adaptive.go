@@ -1,0 +1,58 @@
+package protocols
+
+import (
+	"dsmpm2/internal/core"
+)
+
+// adaptive demonstrates the dynamic mechanism selection Section 2.3
+// mentions: "one may even embed a dynamic mechanism selection within the
+// protocol, switching for instance from page migration to thread migration
+// depending on ad-hoc criteria."
+//
+// The criterion here: a node that keeps write-faulting on the same page (a
+// ping-pong page bouncing between writers) stops pulling the page over and
+// sends the thread to the data instead, once the per-node write-fault count
+// on the page crosses a threshold within the recent-fault window. All other
+// behaviour is inherited from li_hudak.
+type adaptive struct {
+	liHudak
+	// writeFaults[node][page] counts this node's write faults per page
+	// since the counter was last reset by a successful migration.
+	writeFaults []map[core.Page]int
+}
+
+// adaptiveThreshold is the write-fault count after which the protocol
+// switches from page migration to thread migration for a page.
+const adaptiveThreshold = 4
+
+func newAdaptive(d *core.DSM) *adaptive {
+	p := &adaptive{liHudak: liHudak{d: d}}
+	for i := 0; i < d.Runtime().Nodes(); i++ {
+		p.writeFaults = append(p.writeFaults, make(map[core.Page]int))
+	}
+	return p
+}
+
+// Name implements core.Protocol.
+func (p *adaptive) Name() string { return "adaptive" }
+
+// WriteFaultHandler counts write faults per (node, page) and, past the
+// threshold, migrates the thread to the owner instead of migrating the page
+// here. Page ownership stays wherever li_hudak's mechanics put it, so the
+// probable-owner chain remains intact for both mechanisms.
+func (p *adaptive) WriteFaultHandler(f *core.Fault) {
+	cnt := p.writeFaults[f.Node]
+	cnt[f.Page]++
+	if cnt[f.Page] > adaptiveThreshold {
+		delete(cnt, f.Page)
+		core.MigrateToOwner(f)
+		return
+	}
+	p.liHudak.WriteFaultHandler(f)
+}
+
+// FaultCount reports the current write-fault count for a page on a node
+// (exposed for tests and monitoring).
+func (p *adaptive) FaultCount(node int, pg core.Page) int {
+	return p.writeFaults[node][pg]
+}

@@ -1,0 +1,784 @@
+package protocols
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dsmpm2/internal/core"
+	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/memory"
+	"dsmpm2/internal/pm2"
+	"dsmpm2/internal/sim"
+)
+
+// --- li_hudak ---------------------------------------------------------
+
+func TestLiHudakReadReplicates(t *testing.T) {
+	rt, d, ids := harness(4, madeleine.BIPMyrinet, 1)
+	d.SetDefaultProtocol(ids.LiHudak)
+	base := d.MustMalloc(0, 8, nil)
+	pg := d.Space(0).PageOf(base)
+	for n := 1; n < 4; n++ {
+		node := n
+		rt.CreateThread(node, fmt.Sprintf("r%d", node), func(th *pm2.Thread) {
+			d.ReadUint64(th, base)
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// All nodes now hold a read copy; the owner was downgraded to read.
+	for n := 0; n < 4; n++ {
+		if got := d.Space(n).AccessOf(pg); got != memory.ReadOnly {
+			t.Errorf("node %d access = %v, want r--", n, got)
+		}
+	}
+	e := d.Entry(0, pg)
+	if !e.Owner {
+		t.Error("node 0 lost ownership on read serving")
+	}
+	for n := 1; n < 4; n++ {
+		if !e.InCopyset(n) {
+			t.Errorf("node %d missing from copyset", n)
+		}
+	}
+}
+
+func TestLiHudakWriteInvalidatesAndTransfersOwnership(t *testing.T) {
+	rt, d, ids := harness(4, madeleine.BIPMyrinet, 1)
+	d.SetDefaultProtocol(ids.LiHudak)
+	base := d.MustMalloc(0, 8, nil)
+	pg := d.Space(0).PageOf(base)
+	// Phase 1: everyone reads.
+	for n := 1; n < 4; n++ {
+		node := n
+		rt.CreateThread(node, fmt.Sprintf("r%d", node), func(th *pm2.Thread) {
+			d.ReadUint64(th, base)
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Phase 2: node 2 writes.
+	rt.CreateThread(2, "writer", func(th *pm2.Thread) {
+		d.WriteUint64(th, base, 99)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Space(2).AccessOf(pg); got != memory.ReadWrite {
+		t.Errorf("writer access = %v, want rw-", got)
+	}
+	if !d.Entry(2, pg).Owner {
+		t.Error("ownership did not transfer to the writer")
+	}
+	for _, n := range []int{0, 1, 3} {
+		if got := d.Space(n).AccessOf(pg); got != memory.NoAccess {
+			t.Errorf("node %d still has access %v after invalidation", n, got)
+		}
+		if d.Entry(n, pg).Owner {
+			t.Errorf("node %d still believes it owns the page", n)
+		}
+	}
+	// Phase 3: node 0 reads back the new value through the prob-owner chain.
+	var got uint64
+	rt.CreateThread(0, "verify", func(th *pm2.Thread) {
+		got = d.ReadUint64(th, base)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 99 {
+		t.Fatalf("read %d after remote write, want 99", got)
+	}
+}
+
+func TestLiHudakProbOwnerChain(t *testing.T) {
+	// Ownership hops 0 -> 1 -> 2 -> 3; then node 0, whose hint still says
+	// 1, must reach the true owner by forwarding.
+	rt, d, ids := harness(4, madeleine.SISCISCI, 3)
+	d.SetDefaultProtocol(ids.LiHudak)
+	base := d.MustMalloc(0, 8, nil)
+	for n := 1; n < 4; n++ {
+		node := n
+		rt.CreateThread(node, fmt.Sprintf("w%d", node), func(th *pm2.Thread) {
+			th.Advance(sim.Duration(node) * 10 * sim.Millisecond) // serialize the hops
+			d.WriteUint64(th, base, uint64(node))
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	rt.CreateThread(0, "verify", func(th *pm2.Thread) {
+		got = d.ReadUint64(th, base)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Fatalf("chain read = %d, want 3 (last writer)", got)
+	}
+}
+
+func TestLiHudakConcurrentFaultsCoalesce(t *testing.T) {
+	// 8 threads on one node fault on the same remote page; exactly one
+	// page transfer must happen.
+	rt, d, ids := harness(2, madeleine.BIPMyrinet, 1)
+	d.SetDefaultProtocol(ids.LiHudak)
+	base := d.MustMalloc(1, 8, nil)
+	for i := 0; i < 8; i++ {
+		rt.CreateThread(0, fmt.Sprintf("r%d", i), func(th *pm2.Thread) {
+			d.ReadUint64(th, base)
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Stats().PageSends; got != 1 {
+		t.Fatalf("page sends = %d, want 1 (coalesced)", got)
+	}
+	if got := d.Stats().ReadFaults; got != 8 {
+		t.Fatalf("read faults = %d, want 8", got)
+	}
+}
+
+// --- migrate_thread ---------------------------------------------------
+
+func TestMigrateThreadMovesThreadNotPage(t *testing.T) {
+	rt, d, ids := harness(2, madeleine.BIPMyrinet, 1)
+	d.SetDefaultProtocol(ids.MigrateThread)
+	base := d.MustMalloc(1, 8, nil)
+	var endNode int
+	th := rt.CreateThread(0, "worker", func(th *pm2.Thread) {
+		d.WriteUint64(th, base, 5)
+		endNode = th.Node()
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if endNode != 1 {
+		t.Fatalf("thread ended on node %d, want 1 (the data's owner)", endNode)
+	}
+	if th.Migrations() != 1 {
+		t.Fatalf("migrations = %d, want 1", th.Migrations())
+	}
+	if d.Stats().PageSends != 0 {
+		t.Fatal("migrate_thread transferred a page")
+	}
+	pg := d.Space(0).PageOf(base)
+	if d.Space(0).AccessOf(pg) != memory.NoAccess {
+		t.Fatal("page replicated under migrate_thread")
+	}
+}
+
+func TestMigrateThreadPilesThreadsOnOwner(t *testing.T) {
+	// All threads accessing node 0's data end up on node 0 — the load
+	// imbalance Figure 4 blames for migrate_thread's TSP performance.
+	rt, d, ids := harness(4, madeleine.BIPMyrinet, 1)
+	d.SetDefaultProtocol(ids.MigrateThread)
+	base := d.MustMalloc(0, 8, nil)
+	locations := make([]int, 4)
+	for n := 1; n < 4; n++ {
+		node := n
+		rt.CreateThread(node, fmt.Sprintf("w%d", node), func(th *pm2.Thread) {
+			d.WriteUint64(th, base, uint64(node))
+			locations[node] = th.Node()
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n < 4; n++ {
+		if locations[n] != 0 {
+			t.Errorf("thread from node %d ended on %d, want 0", n, locations[n])
+		}
+	}
+	if rt.Node(0).MigrationsIn != 3 {
+		t.Errorf("node 0 received %d migrations, want 3", rt.Node(0).MigrationsIn)
+	}
+}
+
+// --- erc_sw -----------------------------------------------------------
+
+func TestErcSWDefersInvalidationToRelease(t *testing.T) {
+	rt, d, ids := harness(3, madeleine.BIPMyrinet, 1)
+	d.SetDefaultProtocol(ids.ErcSW)
+	base := d.MustMalloc(0, 8, nil)
+	pg := d.Space(0).PageOf(base)
+	lock := d.NewLock(0)
+
+	// Node 2 reads the initial value and keeps a copy.
+	rt.CreateThread(2, "reader", func(th *pm2.Thread) { d.ReadUint64(th, base) })
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Node 1 writes inside a critical section. Before the release, the
+	// reader's copy must still be present (RC permits staleness); after
+	// the release it must be gone.
+	var beforeRelease memory.Access
+	rt.CreateThread(1, "writer", func(th *pm2.Thread) {
+		d.Acquire(th, lock)
+		d.WriteUint64(th, base, 42)
+		beforeRelease = d.Space(2).AccessOf(pg)
+		d.Release(th, lock)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if beforeRelease == memory.NoAccess {
+		t.Error("erc_sw invalidated the reader before the release (that's eager-at-write, not RC)")
+	}
+	if got := d.Space(2).AccessOf(pg); got != memory.NoAccess {
+		t.Errorf("reader access after release = %v, want invalidated", got)
+	}
+	// And the reader refetches the new value.
+	var got uint64
+	rt.CreateThread(2, "reader2", func(th *pm2.Thread) {
+		d.Acquire(th, lock)
+		got = d.ReadUint64(th, base)
+		d.Release(th, lock)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("reader saw %d after acquire, want 42", got)
+	}
+}
+
+// --- hbrc_mw ----------------------------------------------------------
+
+func TestHbrcMWMultipleWritersMerge(t *testing.T) {
+	// Two nodes write disjoint words of the same page under different
+	// locks (MRMW: no ownership ping-pong); after both release, the home
+	// holds both modifications.
+	rt, d, ids := harness(3, madeleine.BIPMyrinet, 1)
+	d.SetDefaultProtocol(ids.HbrcMW)
+	base := d.MustMalloc(0, core.PageSize, nil)
+	lockA := d.NewLock(0)
+	lockB := d.NewLock(0)
+	rt.CreateThread(1, "w1", func(th *pm2.Thread) {
+		d.Acquire(th, lockA)
+		d.WriteUint64(th, base, 111)
+		d.Release(th, lockA)
+	})
+	rt.CreateThread(2, "w2", func(th *pm2.Thread) {
+		d.Acquire(th, lockB)
+		d.WriteUint64(th, base+512, 222)
+		d.Release(th, lockB)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var a, b uint64
+	rt.CreateThread(0, "verify", func(th *pm2.Thread) {
+		a = d.ReadUint64(th, base)
+		b = d.ReadUint64(th, base+512)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a != 111 || b != 222 {
+		t.Fatalf("home merged (%d,%d), want (111,222)", a, b)
+	}
+	if d.Stats().DiffsSent == 0 {
+		t.Fatal("hbrc_mw sent no diffs")
+	}
+}
+
+func TestHbrcMWDiffBytesSmall(t *testing.T) {
+	// A single-word write must ship a diff, not the whole 4 KiB page.
+	rt, d, ids := harness(2, madeleine.BIPMyrinet, 1)
+	d.SetDefaultProtocol(ids.HbrcMW)
+	base := d.MustMalloc(0, core.PageSize, nil)
+	lock := d.NewLock(0)
+	rt.CreateThread(1, "w", func(th *pm2.Thread) {
+		d.Acquire(th, lock)
+		d.WriteUint64(th, base, 7)
+		d.Release(th, lock)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.DiffsSent != 1 {
+		t.Fatalf("diffs sent = %d, want 1", st.DiffsSent)
+	}
+	if st.DiffBytes > 256 {
+		t.Fatalf("diff bytes = %d for an 8-byte write; twin diffing broken", st.DiffBytes)
+	}
+}
+
+func TestHbrcMWHomeWritesPropagate(t *testing.T) {
+	// Writes made on the home node itself must reach other nodes after a
+	// release (this is why hbrc write-protects home pages).
+	rt, d, ids := harness(2, madeleine.BIPMyrinet, 1)
+	d.SetDefaultProtocol(ids.HbrcMW)
+	base := d.MustMalloc(0, 8, nil)
+	lock := d.NewLock(0)
+	// Node 1 caches the page first.
+	rt.CreateThread(1, "prime", func(th *pm2.Thread) { d.ReadUint64(th, base) })
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rt.CreateThread(0, "homewriter", func(th *pm2.Thread) {
+		d.Acquire(th, lock)
+		d.WriteUint64(th, base, 77)
+		d.Release(th, lock)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	rt.CreateThread(1, "verify", func(th *pm2.Thread) {
+		d.Acquire(th, lock)
+		got = d.ReadUint64(th, base)
+		d.Release(th, lock)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 77 {
+		t.Fatalf("remote node saw %d after home write + release, want 77", got)
+	}
+}
+
+func TestHbrcMWThirdPartyFlushOnInvalidate(t *testing.T) {
+	// Writer A releases; home invalidates writer B, who must flush its own
+	// pending diff before dropping — the exact dance Section 3.2 describes.
+	rt, d, ids := harness(3, madeleine.BIPMyrinet, 1)
+	d.SetDefaultProtocol(ids.HbrcMW)
+	base := d.MustMalloc(0, core.PageSize, nil)
+	lockA := d.NewLock(0)
+	rt.CreateThread(2, "writerB", func(th *pm2.Thread) {
+		// B writes without releasing yet.
+		d.WriteUint64(th, base+1024, 222)
+		// Wait long enough for A's release to invalidate us.
+		th.Advance(50 * sim.Millisecond)
+	})
+	rt.CreateThread(1, "writerA", func(th *pm2.Thread) {
+		th.Advance(5 * sim.Millisecond) // let B write first
+		d.Acquire(th, lockA)
+		d.WriteUint64(th, base, 111)
+		d.Release(th, lockA)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var a, b uint64
+	rt.CreateThread(0, "verify", func(th *pm2.Thread) {
+		a = d.ReadUint64(th, base)
+		b = d.ReadUint64(th, base+1024)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a != 111 {
+		t.Errorf("A's released write lost: %d", a)
+	}
+	if b != 222 {
+		t.Errorf("B's flushed-on-invalidation write lost: %d", b)
+	}
+}
+
+// --- hybrid and adaptive ---------------------------------------------
+
+func TestHybridReadReplicatesWriteMigrates(t *testing.T) {
+	rt, d, ids := harness(2, madeleine.BIPMyrinet, 1)
+	d.SetDefaultProtocol(ids.Hybrid)
+	base := d.MustMalloc(1, 8, nil)
+	pg := d.Space(0).PageOf(base)
+	var nodeAfterRead, nodeAfterWrite int
+	rt.CreateThread(0, "worker", func(th *pm2.Thread) {
+		d.ReadUint64(th, base) // replicates: thread stays
+		nodeAfterRead = th.Node()
+		d.WriteUint64(th, base, 9) // migrates to the owner
+		nodeAfterWrite = th.Node()
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if nodeAfterRead != 0 {
+		t.Errorf("thread moved on read (node %d), hybrid should replicate", nodeAfterRead)
+	}
+	if nodeAfterWrite != 1 {
+		t.Errorf("thread on node %d after write, hybrid should migrate to owner", nodeAfterWrite)
+	}
+	// The read copy on node 0 must have been invalidated by the write.
+	if got := d.Space(0).AccessOf(pg); got != memory.NoAccess {
+		t.Errorf("stale read copy survived the write: %v", got)
+	}
+	var got uint64
+	rt.CreateThread(0, "verify", func(th *pm2.Thread) { got = d.ReadUint64(th, base) })
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 9 {
+		t.Fatalf("read %d, want 9", got)
+	}
+}
+
+func TestAdaptiveSwitchesToMigrationOnHotPage(t *testing.T) {
+	rt, d, ids := harness(2, madeleine.BIPMyrinet, 1)
+	d.SetDefaultProtocol(ids.Adaptive)
+	base := d.MustMalloc(1, 8, nil)
+	var migrated bool
+	th := rt.CreateThread(0, "worker", func(th *pm2.Thread) {
+		// Ping-pong: each write pulls the page here, and a remote
+		// reader pulls it back, so every write faults again.
+		for i := 0; i < 10; i++ {
+			d.WriteUint64(th, base, uint64(i))
+			home := th.Node()
+			rt.CreateThread(1, fmt.Sprintf("puller%d", i), func(p *pm2.Thread) {
+				d.WriteUint64(p, base, 1000+uint64(i))
+			})
+			th.Advance(10 * sim.Millisecond) // let the puller take the page
+			_ = home
+			if th.Node() != 0 {
+				migrated = true
+				return
+			}
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !migrated && th.Migrations() == 0 {
+		t.Fatal("adaptive never switched to thread migration under ping-pong writes")
+	}
+}
+
+// --- java_ic / java_pf ------------------------------------------------
+
+func TestJavaICPaysCheckOnEveryAccess(t *testing.T) {
+	rt, d, ids := harness(1, madeleine.SISCISCI, 1)
+	d.SetDefaultProtocol(ids.JavaIC)
+	obj := d.MustNewObject(0, 2, ids.JavaIC)
+	var took sim.Duration
+	rt.CreateThread(0, "w", func(th *pm2.Thread) {
+		start := th.Now()
+		for i := 0; i < 100; i++ {
+			d.GetField(th, obj, 0)
+		}
+		took = th.Now().Sub(start)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 100 * d.Costs().Check
+	if took != want {
+		t.Fatalf("100 local gets under java_ic took %v, want %v (check cost each)", took, want)
+	}
+}
+
+func TestJavaPFLocalAccessesFree(t *testing.T) {
+	rt, d, ids := harness(1, madeleine.SISCISCI, 1)
+	d.SetDefaultProtocol(ids.JavaPF)
+	obj := d.MustNewObject(0, 2, ids.JavaPF)
+	var took sim.Duration
+	rt.CreateThread(0, "w", func(th *pm2.Thread) {
+		start := th.Now()
+		for i := 0; i < 100; i++ {
+			d.GetField(th, obj, 0)
+		}
+		took = th.Now().Sub(start)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if took != 0 {
+		t.Fatalf("100 local gets under java_pf took %v, want 0 (no checks, no faults)", took)
+	}
+}
+
+func TestJavaPFRemoteAccessFaults(t *testing.T) {
+	rt, d, ids := harness(2, madeleine.SISCISCI, 1)
+	d.SetDefaultProtocol(ids.JavaPF)
+	obj := d.MustNewObject(1, 2, ids.JavaPF)
+	rt.CreateThread(0, "w", func(th *pm2.Thread) {
+		d.GetField(th, obj, 0)
+		d.GetField(th, obj, 1) // second access: cached, no new fault
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.ReadFaults+st.WriteFaults != 1 {
+		t.Fatalf("faults = %d, want exactly 1", st.ReadFaults+st.WriteFaults)
+	}
+}
+
+func TestJavaICNoPageFaults(t *testing.T) {
+	rt, d, ids := harness(2, madeleine.SISCISCI, 1)
+	d.SetDefaultProtocol(ids.JavaIC)
+	obj := d.MustNewObject(1, 2, ids.JavaIC)
+	rt.CreateThread(0, "w", func(th *pm2.Thread) {
+		d.GetField(th, obj, 0)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.ReadFaults+st.WriteFaults != 0 {
+		t.Fatalf("java_ic raised %d page faults; inline checks must bypass them",
+			st.ReadFaults+st.WriteFaults)
+	}
+	if st.ObjFetches != 1 {
+		t.Fatalf("object fetches = %d, want 1", st.ObjFetches)
+	}
+}
+
+func TestJavaMonitorVisibility(t *testing.T) {
+	// JMM: writes inside a monitor are visible to the next thread entering
+	// the monitor (flush on entry, transmit on exit).
+	for _, ic := range []bool{true, false} {
+		rt, d, ids := harness(2, madeleine.SISCISCI, 1)
+		id := ids.JavaPF
+		if ic {
+			id = ids.JavaIC
+		}
+		d.SetDefaultProtocol(id)
+		obj := d.MustNewObject(0, 1, id)
+		mon := d.NewLock(0)
+		rt.CreateThread(1, "w", func(th *pm2.Thread) {
+			d.Acquire(th, mon)
+			d.PutField(th, obj, 0, 1234)
+			d.Release(th, mon)
+		})
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var got uint64
+		rt.CreateThread(0, "r", func(th *pm2.Thread) {
+			d.Acquire(th, mon)
+			got = d.GetField(th, obj, 0)
+			d.Release(th, mon)
+		})
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got != 1234 {
+			t.Fatalf("[ic=%v] monitor visibility broken: got %d", ic, got)
+		}
+	}
+}
+
+// --- cross-protocol properties ----------------------------------------
+
+// protoList enumerates every built-in protocol for sweep tests. The object
+// protocols are exercised through the same paged API (they fall back
+// gracefully) plus their own object tests above.
+func protoList(ids IDs) map[string]core.ProtoID {
+	return map[string]core.ProtoID{
+		"li_hudak":       ids.LiHudak,
+		"migrate_thread": ids.MigrateThread,
+		"erc_sw":         ids.ErcSW,
+		"hbrc_mw":        ids.HbrcMW,
+		"hybrid":         ids.Hybrid,
+		"adaptive":       ids.Adaptive,
+	}
+}
+
+// TestBarrierPhasedExchangeAllProtocols runs a two-phase neighbour exchange:
+// each node writes its slot, everyone barriers, each node reads its
+// neighbour's slot. Every protocol must deliver the freshly written values.
+func TestBarrierPhasedExchangeAllProtocols(t *testing.T) {
+	const nodes = 4
+	reg, ids := NewRegistry()
+	_ = reg
+	for name, pid := range protoList(ids) {
+		t.Run(name, func(t *testing.T) {
+			rt, d, ids2 := harness(nodes, madeleine.BIPMyrinet, 9)
+			var id core.ProtoID
+			switch name {
+			case "li_hudak":
+				id = ids2.LiHudak
+			case "migrate_thread":
+				id = ids2.MigrateThread
+			case "erc_sw":
+				id = ids2.ErcSW
+			case "hbrc_mw":
+				id = ids2.HbrcMW
+			case "hybrid":
+				id = ids2.Hybrid
+			case "adaptive":
+				id = ids2.Adaptive
+			}
+			_ = pid
+			d.SetDefaultProtocol(id)
+			// One page per node so writers do not fight: slot n lives on node n.
+			addrs := make([]core.Addr, nodes)
+			for n := 0; n < nodes; n++ {
+				addrs[n] = d.MustMalloc(n, 8, nil)
+			}
+			bar := d.NewBarrier(nodes)
+			got := make([]uint64, nodes)
+			for n := 0; n < nodes; n++ {
+				node := n
+				rt.CreateThread(node, fmt.Sprintf("p%d", node), func(th *pm2.Thread) {
+					d.WriteUint64(th, addrs[node], uint64(100+node))
+					d.Barrier(th, bar)
+					got[node] = d.ReadUint64(th, addrs[(node+1)%nodes])
+				})
+			}
+			if err := rt.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for n := 0; n < nodes; n++ {
+				want := uint64(100 + (n+1)%nodes)
+				if got[n] != want {
+					t.Errorf("node %d read %d from neighbour, want %d", n, got[n], want)
+				}
+			}
+		})
+	}
+}
+
+// TestRandomProgramMatchesReference runs a random lock-protected read-
+// modify-write program on every protocol and compares the final shared state
+// with a sequential reference execution.
+func TestRandomProgramMatchesReference(t *testing.T) {
+	type op struct {
+		node int
+		slot int
+		add  uint64
+	}
+	run := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nodes, slots, opsPerNode = 3, 8, 12
+		var program [nodes][]op
+		for n := 0; n < nodes; n++ {
+			for i := 0; i < opsPerNode; i++ {
+				program[n] = append(program[n], op{
+					node: n,
+					slot: rng.Intn(slots),
+					add:  uint64(1 + rng.Intn(100)),
+				})
+			}
+		}
+		// Sequential reference.
+		var ref [slots]uint64
+		for n := 0; n < nodes; n++ {
+			for _, o := range program[n] {
+				ref[o.slot] += o.add
+			}
+		}
+		_, ids := NewRegistry()
+		for _, pid := range []core.ProtoID{ids.LiHudak, ids.MigrateThread, ids.ErcSW, ids.HbrcMW, ids.Hybrid} {
+			rt, d, _ := harness(nodes, madeleine.SISCISCI, seed)
+			d.SetDefaultProtocol(pid)
+			base := d.MustMalloc(0, slots*8, nil)
+			lock := d.NewLock(0)
+			for n := 0; n < nodes; n++ {
+				node := n
+				rt.CreateThread(node, fmt.Sprintf("p%d", node), func(th *pm2.Thread) {
+					for _, o := range program[node] {
+						d.Acquire(th, lock)
+						a := base + core.Addr(o.slot*8)
+						d.WriteUint64(th, a, d.ReadUint64(th, a)+o.add)
+						d.Release(th, lock)
+					}
+				})
+			}
+			if err := rt.Run(); err != nil {
+				return false
+			}
+			ok := true
+			rt.CreateThread(0, "verify", func(th *pm2.Thread) {
+				d.Acquire(th, lock)
+				for s := 0; s < slots; s++ {
+					if d.ReadUint64(th, base+core.Addr(s*8)) != ref[s] {
+						ok = false
+					}
+				}
+				d.Release(th, lock)
+			})
+			if err := rt.Run(); err != nil || !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(func(seed int64) bool { return run(seed) }, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterministicReplay: the same seed and program give bit-identical
+// virtual end times and stats.
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (sim.Time, core.Stats) {
+		rt, d, ids := harness(4, madeleine.BIPMyrinet, 77)
+		d.SetDefaultProtocol(ids.LiHudak)
+		base := d.MustMalloc(0, 64, nil)
+		lock := d.NewLock(0)
+		for n := 0; n < 4; n++ {
+			node := n
+			rt.CreateThread(node, fmt.Sprintf("p%d", node), func(th *pm2.Thread) {
+				for i := 0; i < 20; i++ {
+					d.Acquire(th, lock)
+					a := base + core.Addr(8*(i%8))
+					d.WriteUint64(th, a, d.ReadUint64(th, a)+1)
+					d.Release(th, lock)
+				}
+			})
+		}
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return rt.Now(), d.Stats()
+	}
+	t1, s1 := run()
+	t2, s2 := run()
+	if t1 != t2 {
+		t.Fatalf("replay end times differ: %v vs %v", t1, t2)
+	}
+	if s1 != s2 {
+		t.Fatalf("replay stats differ: %+v vs %+v", s1, s2)
+	}
+}
+
+// TestProtocolsPerAreaCoexist attaches different protocols to different
+// allocations in one application (Section 2.3: "different DSM protocols may
+// be associated to different DSM memory areas within the same application").
+func TestProtocolsPerAreaCoexist(t *testing.T) {
+	rt, d, ids := harness(2, madeleine.BIPMyrinet, 1)
+	d.SetDefaultProtocol(ids.LiHudak)
+	a := d.MustMalloc(0, 8, &core.Attr{Protocol: ids.LiHudak, Home: 0})
+	b := d.MustMalloc(0, 8, &core.Attr{Protocol: ids.HbrcMW, Home: 0})
+	c := d.MustMalloc(1, 8, &core.Attr{Protocol: ids.MigrateThread, Home: 1})
+	lock := d.NewLock(0)
+	var endNode int
+	rt.CreateThread(1, "worker", func(th *pm2.Thread) {
+		d.Acquire(th, lock)
+		d.WriteUint64(th, a, 1) // li_hudak: page migrates here
+		d.WriteUint64(th, b, 2) // hbrc: twin + diff at release
+		d.Release(th, lock)
+		d.WriteUint64(th, c, 3) // migrate_thread... already on owner node 1
+		endNode = th.Node()
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if endNode != 1 {
+		t.Fatalf("worker ended on node %d, want 1", endNode)
+	}
+	var va, vb, vc uint64
+	rt.CreateThread(0, "verify", func(th *pm2.Thread) {
+		d.Acquire(th, lock)
+		va = d.ReadUint64(th, a)
+		vb = d.ReadUint64(th, b)
+		d.Release(th, lock)
+		vc = d.ReadUint64(th, c) // migrate_thread: this thread hops to node 1
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if va != 1 || vb != 2 || vc != 3 {
+		t.Fatalf("per-area protocols broke: got (%d,%d,%d)", va, vb, vc)
+	}
+}

@@ -1,0 +1,117 @@
+package protocols
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmpm2/internal/core"
+	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/pm2"
+)
+
+// TestCondProducerConsumer runs a bounded buffer across nodes: producer on
+// node 0, consumer on node 1, buffer state in shared DSM memory,
+// coordination via a DSM lock and two condition variables — under every
+// consistency protocol that supports plain paged access.
+func TestCondProducerConsumer(t *testing.T) {
+	for _, pick := range []struct {
+		name string
+		id   func(IDs) core.ProtoID
+	}{
+		{"li_hudak", func(i IDs) core.ProtoID { return i.LiHudak }},
+		{"hbrc_mw", func(i IDs) core.ProtoID { return i.HbrcMW }},
+		{"erc_sw", func(i IDs) core.ProtoID { return i.ErcSW }},
+		{"migrate_thread", func(i IDs) core.ProtoID { return i.MigrateThread }},
+	} {
+		t.Run(pick.name, func(t *testing.T) {
+			rt, d, ids := harness(2, madeleine.SISCISCI, 13)
+			d.SetDefaultProtocol(pick.id(ids))
+			buf := d.MustMalloc(0, 16, nil) // [occupied, value]
+			lock := d.NewLock(0)
+			notEmpty := d.NewCond(lock)
+			notFull := d.NewCond(lock)
+			const items = 8
+			var consumed []uint64
+			rt.CreateThread(0, "producer", func(th *pm2.Thread) {
+				for i := 1; i <= items; i++ {
+					d.Acquire(th, lock)
+					for d.ReadUint64(th, buf) == 1 {
+						d.CondWait(th, notFull)
+					}
+					d.WriteUint64(th, buf, 1)
+					d.WriteUint64(th, buf+8, uint64(i*11))
+					d.CondSignal(th, notEmpty)
+					d.Release(th, lock)
+				}
+			})
+			rt.CreateThread(1, "consumer", func(th *pm2.Thread) {
+				for i := 0; i < items; i++ {
+					d.Acquire(th, lock)
+					for d.ReadUint64(th, buf) == 0 {
+						d.CondWait(th, notEmpty)
+					}
+					consumed = append(consumed, d.ReadUint64(th, buf+8))
+					d.WriteUint64(th, buf, 0)
+					d.CondSignal(th, notFull)
+					d.Release(th, lock)
+				}
+			})
+			if err := rt.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if len(consumed) != items {
+				t.Fatalf("consumed %d of %d items", len(consumed), items)
+			}
+			for i, v := range consumed {
+				if v != uint64((i+1)*11) {
+					t.Fatalf("consumed[%d] = %d, want %d (stale read?)", i, v, (i+1)*11)
+				}
+			}
+		})
+	}
+}
+
+// TestCondManyConsumers fans one producer out to several consumers.
+func TestCondManyConsumers(t *testing.T) {
+	rt, d, ids := harness(4, madeleine.BIPMyrinet, 21)
+	d.SetDefaultProtocol(ids.LiHudak)
+	buf := d.MustMalloc(0, 16, nil)
+	lock := d.NewLock(0)
+	notEmpty := d.NewCond(lock)
+	notFull := d.NewCond(lock)
+	const items = 12
+	total := uint64(0)
+	for c := 1; c < 4; c++ {
+		rt.CreateThread(c, fmt.Sprintf("consumer%d", c), func(th *pm2.Thread) {
+			for i := 0; i < items/3; i++ {
+				d.Acquire(th, lock)
+				for d.ReadUint64(th, buf) == 0 {
+					d.CondWait(th, notEmpty)
+				}
+				total += d.ReadUint64(th, buf+8)
+				d.WriteUint64(th, buf, 0)
+				d.CondSignal(th, notFull)
+				d.Release(th, lock)
+			}
+		})
+	}
+	rt.CreateThread(0, "producer", func(th *pm2.Thread) {
+		for i := 1; i <= items; i++ {
+			d.Acquire(th, lock)
+			for d.ReadUint64(th, buf) == 1 {
+				d.CondWait(th, notFull)
+			}
+			d.WriteUint64(th, buf, 1)
+			d.WriteUint64(th, buf+8, uint64(i))
+			d.CondBroadcast(th, notEmpty)
+			d.Release(th, lock)
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(items * (items + 1) / 2)
+	if total != want {
+		t.Fatalf("consumed sum = %d, want %d", total, want)
+	}
+}

@@ -1,0 +1,242 @@
+package protocols
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmpm2/internal/core"
+	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/memory"
+	"dsmpm2/internal/pm2"
+	"dsmpm2/internal/sim"
+)
+
+func TestErcReleaseAfterOwnershipMoved(t *testing.T) {
+	// Node 1 writes (becomes owner, marks dirty), node 2 steals ownership
+	// before node 1 releases: node 1's release must skip the page (the new
+	// owner inherited the copyset and the invalidation duty) and not
+	// corrupt anything.
+	rt, d, ids := harness(3, madeleine.BIPMyrinet, 17)
+	d.SetDefaultProtocol(ids.ErcSW)
+	base := d.MustMalloc(0, 8, nil)
+	lock := d.NewLock(0)
+	rt.CreateThread(1, "w1", func(th *pm2.Thread) {
+		d.Acquire(th, lock)
+		d.WriteUint64(th, base, 1)
+		// Dally inside the critical section while node 2 writes
+		// (erc_sw allows this: node 2 uses a different lock).
+		th.Advance(20 * sim.Millisecond)
+		d.Release(th, lock)
+	})
+	lock2 := d.NewLock(0)
+	rt.CreateThread(2, "w2", func(th *pm2.Thread) {
+		th.Advance(5 * sim.Millisecond)
+		d.Acquire(th, lock2)
+		d.WriteUint64(th, base+8, 2)
+		d.Release(th, lock2)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var a, b uint64
+	rt.CreateThread(0, "verify", func(th *pm2.Thread) {
+		d.Acquire(th, lock)
+		a = d.ReadUint64(th, base)
+		b = d.ReadUint64(th, base+8)
+		d.Release(th, lock)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// MRSW: node 2's page grab carried node 1's write with it.
+	if a != 1 || b != 2 {
+		t.Fatalf("values = %d,%d; want 1,2", a, b)
+	}
+}
+
+func TestAdaptiveFaultCountResets(t *testing.T) {
+	reg, _ := NewRegistry()
+	_ = reg
+	rt, d, ids := harness(2, madeleine.BIPMyrinet, 1)
+	d.SetDefaultProtocol(ids.Adaptive)
+	base := d.MustMalloc(1, 8, nil)
+	inst := d.Registry()
+	_ = inst
+	rt.CreateThread(0, "w", func(th *pm2.Thread) {
+		d.WriteUint64(th, base, 1)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// One write fault recorded on node 0 for the page (below threshold,
+	// so the page migrated rather than the thread).
+	if d.Stats().Migrations != 0 {
+		t.Fatal("adaptive migrated below threshold")
+	}
+}
+
+func TestHybridUnexpectedWriteRequestPanics(t *testing.T) {
+	p := &hybrid{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("hybrid WriteServer did not panic")
+		}
+	}()
+	p.WriteServer(&core.Request{})
+}
+
+func TestMigrateThreadUnexpectedServersPanic(t *testing.T) {
+	p := &migrateThread{}
+	for name, fn := range map[string]func(){
+		"read":  func() { p.ReadServer(&core.Request{}) },
+		"write": func() { p.WriteServer(&core.Request{}) },
+		"inv":   func() { p.InvalidateServer(&core.Invalidate{}) },
+		"page":  func() { p.ReceivePageServer(&core.PageMsg{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("migrate_thread %s server did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestJavaAcquireFlushesMultipleCachedPages(t *testing.T) {
+	rt, d, ids := harness(2, madeleine.SISCISCI, 7)
+	d.SetDefaultProtocol(ids.JavaPF)
+	// Several objects on node 0's pages, cached by node 1.
+	objs := make([]core.ObjRef, 4)
+	for i := range objs {
+		objs[i] = d.MustNewObject(0, core.PageSize/core.FieldBytes, ids.JavaPF) // one page each
+	}
+	mon := d.NewLock(0)
+	rt.CreateThread(1, "w", func(th *pm2.Thread) {
+		for _, o := range objs {
+			d.GetField(th, o, 0) // cache all four pages
+		}
+		cached := 0
+		for _, o := range objs {
+			pg := d.Space(1).PageOf(o.Base)
+			if d.Space(1).AccessOf(pg) != memory.NoAccess {
+				cached++
+			}
+		}
+		if cached != 4 {
+			t.Errorf("cached %d of 4 pages before acquire", cached)
+		}
+		d.Acquire(th, mon) // JMM flush: every cached page drops
+		for _, o := range objs {
+			pg := d.Space(1).PageOf(o.Base)
+			if d.Space(1).AccessOf(pg) != memory.NoAccess {
+				t.Errorf("page %d survived the monitor-entry flush", pg)
+			}
+		}
+		d.Release(th, mon)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJavaPutAtHomeNotRecorded(t *testing.T) {
+	rt, d, ids := harness(2, madeleine.SISCISCI, 7)
+	d.SetDefaultProtocol(ids.JavaIC)
+	obj := d.MustNewObject(0, 2, ids.JavaIC)
+	mon := d.NewLock(0)
+	rt.CreateThread(0, "home-writer", func(th *pm2.Thread) {
+		d.Acquire(th, mon)
+		d.PutField(th, obj, 0, 5)
+		d.Release(th, mon)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Stats().DiffsSent != 0 {
+		t.Fatalf("home-side put shipped %d diffs; the reference copy is updated in place",
+			d.Stats().DiffsSent)
+	}
+}
+
+func TestCoalescedReadThenWriteUpgrade(t *testing.T) {
+	// Thread A read-faults, thread B write-faults on the same page at the
+	// same time on the same node: B coalesces with A's read fetch, finds
+	// the granted right insufficient, refaults, and upgrades — no lost
+	// writes, no deadlock.
+	rt, d, ids := harness(2, madeleine.BIPMyrinet, 23)
+	d.SetDefaultProtocol(ids.LiHudak)
+	base := d.MustMalloc(1, 8, nil)
+	var readVal uint64
+	rt.CreateThread(0, "reader", func(th *pm2.Thread) {
+		readVal = d.ReadUint64(th, base)
+	})
+	rt.CreateThread(0, "writer", func(th *pm2.Thread) {
+		d.WriteUint64(th, base, 42)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	rt.CreateThread(1, "verify", func(th *pm2.Thread) { got = d.ReadUint64(th, base) })
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Fatalf("write lost in read/write coalescing: got %d", got)
+	}
+	_ = readVal
+}
+
+func TestManyPagesManyThreadsStress(t *testing.T) {
+	// 4 nodes x 3 threads hammer 8 pages with lock-protected increments
+	// under every paged protocol; totals must be exact.
+	for _, pname := range []string{"li_hudak", "erc_sw", "hbrc_mw", "li_fixed", "entry_mw"} {
+		t.Run(pname, func(t *testing.T) {
+			rt, d, _ := harness(4, madeleine.SISCISCI, 29)
+			id, _ := d.Registry().Lookup(pname)
+			d.SetDefaultProtocol(id)
+			const pages, perThread = 8, 6
+			addrs := make([]core.Addr, pages)
+			locks := make([]int, pages)
+			for i := range addrs {
+				addrs[i] = d.MustMalloc(i%4, 8, nil)
+				locks[i] = d.NewLock(i % 4)
+			}
+			nthreads := 0
+			for n := 0; n < 4; n++ {
+				for k := 0; k < 3; k++ {
+					node := n
+					tid := nthreads
+					nthreads++
+					rt.CreateThread(node, fmt.Sprintf("w%d", tid), func(th *pm2.Thread) {
+						for i := 0; i < perThread; i++ {
+							slot := (tid + i) % pages
+							d.Acquire(th, locks[slot])
+							d.WriteUint64(th, addrs[slot], d.ReadUint64(th, addrs[slot])+1)
+							d.Release(th, locks[slot])
+						}
+					})
+				}
+			}
+			if err := rt.Run(); err != nil {
+				t.Fatal(err)
+			}
+			total := uint64(0)
+			rt.CreateThread(0, "verify", func(th *pm2.Thread) {
+				for i := range addrs {
+					d.Acquire(th, locks[i])
+					total += d.ReadUint64(th, addrs[i])
+					d.Release(th, locks[i])
+				}
+			})
+			if err := rt.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if want := uint64(nthreads * perThread); total != want {
+				t.Fatalf("total increments = %d, want %d", total, want)
+			}
+		})
+	}
+}

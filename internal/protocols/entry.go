@@ -1,0 +1,213 @@
+package protocols
+
+import (
+	"sort"
+
+	"dsmpm2/internal/core"
+	"dsmpm2/internal/memory"
+)
+
+// entryMW implements Midway-style entry consistency, the third weak model
+// the paper's generic core was specified to support ("weaker consistency
+// models, like release, entry, or scope consistency require that consistency
+// actions be taken at synchronization points", Section 2.2).
+//
+// Shared data is associated with locks through core.BindLock. A page is
+// guaranteed consistent only to a thread holding the page's lock:
+//
+//   - write faults twin the page and mark it dirty (home-based MRMW, as in
+//     hbrc_mw);
+//   - releasing a lock flushes the diffs of the dirty pages *bound to that
+//     lock* to their homes — and nothing else;
+//   - acquiring a lock drops the local copies of the pages bound to it, so
+//     the holder refetches fresh data on demand — other cached pages are
+//     left alone.
+//
+// Compared with release consistency, which must make *all* of a releaser's
+// writes visible to the next acquirer, entry consistency touches only the
+// data actually guarded by the lock, trading annotation effort (the
+// BindLock calls) for less synchronization traffic. Barriers are global
+// synchronization: they flush and drop everything, bound or not.
+type entryMW struct {
+	d     *core.DSM
+	dirty []map[core.Page]bool
+}
+
+func newEntryMW(d *core.DSM) *entryMW {
+	p := &entryMW{d: d}
+	for i := 0; i < d.Runtime().Nodes(); i++ {
+		p.dirty = append(p.dirty, make(map[core.Page]bool))
+	}
+	return p
+}
+
+// Name implements core.Protocol.
+func (p *entryMW) Name() string { return "entry_mw" }
+
+// InitPage write-protects the page at its home so home writes are tracked,
+// exactly as hbrc_mw does.
+func (p *entryMW) InitPage(pg core.Page, home int) {
+	p.d.Space(home).SetAccess(pg, memory.ReadOnly)
+}
+
+// ReadFaultHandler fetches a read-only copy from the home.
+func (p *entryMW) ReadFaultHandler(f *core.Fault) { core.FetchPage(f, false) }
+
+// WriteFaultHandler enables local writing with a twin, marking the page
+// dirty for the next release of its lock.
+func (p *entryMW) WriteFaultHandler(f *core.Fault) {
+	e, t := f.Entry, f.Thread
+	space := p.d.Space(f.Node)
+	e.Lock(t)
+	if space.AccessOf(f.Page) >= memory.ReadOnly {
+		core.EnsureTwin(p.d, f.Node, e)
+		space.SetAccess(f.Page, memory.ReadWrite)
+		p.dirty[f.Node][f.Page] = true
+		f.KeepEntryLocked()
+		return
+	}
+	e.Unlock(t)
+	core.FetchPage(f, true)
+	if space.AccessOf(f.Page) == memory.ReadWrite {
+		core.EnsureTwin(p.d, f.Node, e)
+		p.dirty[f.Node][f.Page] = true
+	}
+}
+
+// ReadServer runs at the home and grants a read-only copy.
+func (p *entryMW) ReadServer(r *core.Request) { p.serveCopy(r, memory.ReadOnly) }
+
+// WriteServer runs at the home and grants a writable copy (MRMW).
+func (p *entryMW) WriteServer(r *core.Request) { p.serveCopy(r, memory.ReadWrite) }
+
+func (p *entryMW) serveCopy(r *core.Request, access memory.Access) {
+	e := p.d.Entry(r.Node, r.Page)
+	e.Lock(r.Thread)
+	if r.Node != e.Home {
+		panic("entry_mw: page request did not reach the home node")
+	}
+	e.AddCopyset(r.From)
+	core.SendPage(r, e, r.From, access, false, nil)
+	e.Unlock(r.Thread)
+}
+
+// InvalidateServer flushes pending modifications and drops the copy (used
+// only via the barrier's global synchronization).
+func (p *entryMW) InvalidateServer(iv *core.Invalidate) {
+	e := p.d.Entry(iv.Node, iv.Page)
+	e.Lock(iv.Thread)
+	diff := core.TwinDiff(p.d, iv.Node, e)
+	p.d.Space(iv.Node).Drop(iv.Page)
+	delete(p.dirty[iv.Node], iv.Page)
+	e.Unlock(iv.Thread)
+	if diff != nil {
+		core.SendDiffsHome(p.d, iv.Thread, e.Home, []*memory.Diff{diff}, false)
+	}
+}
+
+// ReceivePageServer installs the arriving copy.
+func (p *entryMW) ReceivePageServer(pm *core.PageMsg) { core.InstallPage(pm) }
+
+// LockAcquire drops the local copies of the pages bound to the acquired
+// lock (after flushing any of our own pending modifications to them), so
+// the holder sees the previous holder's writes. Barrier acquires apply to
+// every page of this protocol.
+func (p *entryMW) LockAcquire(s *core.SyncEvent) {
+	p.dropCopies(s, p.scope(s))
+}
+
+// LockRelease flushes the diffs of the dirty pages bound to the released
+// lock to their home nodes. Barrier releases flush everything.
+func (p *entryMW) LockRelease(s *core.SyncEvent) {
+	p.flushDirty(s, p.scope(s))
+}
+
+// scope returns the set of pages an acquire/release acts on: the lock's
+// bound pages, or nil meaning "all of this protocol's pages" for barriers
+// and unbound locks (which then behave like release consistency, a safe
+// fallback for unannotated programs).
+func (p *entryMW) scope(s *core.SyncEvent) map[core.Page]bool {
+	if s.Barrier {
+		return nil
+	}
+	bound := p.d.BoundPages(s.Lock)
+	if len(bound) == 0 {
+		return nil
+	}
+	set := make(map[core.Page]bool, len(bound))
+	for _, pg := range bound {
+		set[pg] = true
+	}
+	return set
+}
+
+// inScope reports whether pg participates in the current synchronization.
+func inScope(scope map[core.Page]bool, pg core.Page) bool {
+	return scope == nil || scope[pg]
+}
+
+func (p *entryMW) flushDirty(s *core.SyncEvent, scope map[core.Page]bool) {
+	node := s.Node
+	pages := make([]core.Page, 0, len(p.dirty[node]))
+	for pg := range p.dirty[node] {
+		if inScope(scope, pg) {
+			pages = append(pages, pg)
+		}
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	byHome := make(map[int][]*memory.Diff)
+	var homes []int
+	for _, pg := range pages {
+		delete(p.dirty[node], pg)
+		e := p.d.Entry(node, pg)
+		e.Lock(s.Thread)
+		diff := core.TwinDiff(p.d, node, e)
+		p.d.Space(node).SetAccess(pg, memory.ReadOnly)
+		e.Unlock(s.Thread)
+		if diff == nil {
+			continue
+		}
+		if e.Home == node {
+			continue // home writes are already in the reference copy
+		}
+		if _, seen := byHome[e.Home]; !seen {
+			homes = append(homes, e.Home)
+		}
+		byHome[e.Home] = append(byHome[e.Home], diff)
+	}
+	sort.Ints(homes)
+	for _, h := range homes {
+		core.SendDiffsHome(p.d, s.Thread, h, byHome[h], true)
+	}
+}
+
+func (p *entryMW) dropCopies(s *core.SyncEvent, scope map[core.Page]bool) {
+	node := s.Node
+	for _, pg := range p.d.PagesOn(node) {
+		if !inScope(scope, pg) {
+			continue
+		}
+		_, proto, ok := p.d.PageInfo(pg)
+		if !ok || p.d.RegistryName(proto) != p.Name() {
+			continue
+		}
+		e := p.d.Entry(node, pg)
+		if e.Home == node {
+			continue // the reference copy is always fresh
+		}
+		e.Lock(s.Thread)
+		var flush *memory.Diff
+		if p.d.Space(node).Frame(pg) != nil {
+			flush = core.TwinDiff(p.d, node, e)
+			p.d.Space(node).Drop(pg)
+		}
+		delete(p.dirty[node], pg)
+		e.Unlock(s.Thread)
+		if flush != nil {
+			core.SendDiffsHome(p.d, s.Thread, e.Home, []*memory.Diff{flush}, true)
+		}
+	}
+}
+
+// DiffServer applies arriving diffs to the reference copy.
+func (p *entryMW) DiffServer(dm *core.DiffMsg) { core.ApplyDiffs(dm) }

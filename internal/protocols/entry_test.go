@@ -1,0 +1,191 @@
+package protocols
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmpm2/internal/core"
+	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/memory"
+	"dsmpm2/internal/pm2"
+)
+
+func TestEntryCounterWithBoundLock(t *testing.T) {
+	rt, d, ids := harness(4, madeleine.BIPMyrinet, 11)
+	d.SetDefaultProtocol(ids.EntryMW)
+	base := d.MustMalloc(0, 8, nil)
+	lock := d.NewLock(0)
+	d.BindLock(lock, base, 8)
+	for n := 0; n < 4; n++ {
+		node := n
+		rt.CreateThread(node, fmt.Sprintf("w%d", node), func(th *pm2.Thread) {
+			for i := 0; i < 10; i++ {
+				d.Acquire(th, lock)
+				d.WriteUint64(th, base, d.ReadUint64(th, base)+1)
+				d.Release(th, lock)
+			}
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var got uint64
+	rt.CreateThread(1, "r", func(th *pm2.Thread) {
+		d.Acquire(th, lock)
+		got = d.ReadUint64(th, base)
+		d.Release(th, lock)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 40 {
+		t.Fatalf("entry-consistent counter = %d, want 40", got)
+	}
+}
+
+func TestEntryUnboundLockFallsBackToRC(t *testing.T) {
+	// Without BindLock annotations, entry_mw must still be correct for
+	// lock-protected programs (it degrades to release consistency).
+	runCounter(t, func(i IDs) core.ProtoID { return i.EntryMW }, 3, 8)
+}
+
+func TestEntryAcquireOnlyTouchesBoundPages(t *testing.T) {
+	// Two areas guarded by two locks: acquiring lock A must not disturb
+	// the cached copy of B's area — that is the whole point of entry
+	// consistency.
+	rt, d, ids := harness(2, madeleine.BIPMyrinet, 3)
+	d.SetDefaultProtocol(ids.EntryMW)
+	areaA := d.MustMalloc(0, 8, nil)
+	areaB := d.MustMalloc(0, core.PageSize, nil) // separate page
+	lockA := d.NewLock(0)
+	lockB := d.NewLock(0)
+	d.BindLock(lockA, areaA, 8)
+	d.BindLock(lockB, areaB, core.PageSize)
+	pgB := d.Space(0).PageOf(areaB)
+
+	rt.CreateThread(1, "worker", func(th *pm2.Thread) {
+		// Cache B's page under its lock.
+		d.Acquire(th, lockB)
+		d.ReadUint64(th, areaB)
+		d.Release(th, lockB)
+		if d.Space(1).AccessOf(pgB) == memory.NoAccess {
+			t.Error("B's page not cached after its own release")
+		}
+		// Acquiring A must leave B's cached copy alone.
+		d.Acquire(th, lockA)
+		if d.Space(1).AccessOf(pgB) == memory.NoAccess {
+			t.Error("acquiring lock A dropped pages bound to lock B")
+		}
+		d.Release(th, lockA)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryReleaseFlushesOnlyBoundPages(t *testing.T) {
+	rt, d, ids := harness(2, madeleine.BIPMyrinet, 3)
+	d.SetDefaultProtocol(ids.EntryMW)
+	areaA := d.MustMalloc(0, 8, nil)
+	areaB := d.MustMalloc(0, core.PageSize, nil)
+	lockA := d.NewLock(0)
+	d.BindLock(lockA, areaA, 8)
+
+	rt.CreateThread(1, "worker", func(th *pm2.Thread) {
+		// Write both areas, release only A's lock: only A's diff ships.
+		d.Acquire(th, lockA)
+		d.WriteUint64(th, areaA, 1)
+		d.WriteUint64(th, areaB, 2) // unguarded write (program's business)
+		before := d.Stats().DiffsSent
+		d.Release(th, lockA)
+		after := d.Stats().DiffsSent
+		if after-before != 1 {
+			t.Errorf("release of bound lock shipped %d diffs, want 1 (area A only)", after-before)
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntryLessTrafficThanHbrc(t *testing.T) {
+	// A program with two independently-locked areas: entry consistency
+	// synchronizes each lock's data only, so it ships no more (and here
+	// strictly fewer or equal) diffs+pages than hbrc_mw, which must make
+	// all writes visible at every release.
+	run := func(pid func(IDs) core.ProtoID, bind bool) (int64, uint64) {
+		rt, d, ids := harness(3, madeleine.BIPMyrinet, 9)
+		d.SetDefaultProtocol(pid(ids))
+		areaA := d.MustMalloc(0, 8, nil)
+		areaB := d.MustMalloc(0, core.PageSize, nil)
+		lockA := d.NewLock(0)
+		lockB := d.NewLock(0)
+		if bind {
+			d.BindLock(lockA, areaA, 8)
+			d.BindLock(lockB, areaB, core.PageSize)
+		}
+		for n := 1; n < 3; n++ {
+			node := n
+			rt.CreateThread(node, fmt.Sprintf("w%d", node), func(th *pm2.Thread) {
+				for i := 0; i < 6; i++ {
+					d.Acquire(th, lockA)
+					d.WriteUint64(th, areaA, d.ReadUint64(th, areaA)+1)
+					d.Release(th, lockA)
+					d.Acquire(th, lockB)
+					d.WriteUint64(th, areaB, d.ReadUint64(th, areaB)+1)
+					d.Release(th, lockB)
+				}
+			})
+		}
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var a, b uint64
+		rt.CreateThread(0, "r", func(th *pm2.Thread) {
+			d.Acquire(th, lockA)
+			a = d.ReadUint64(th, areaA)
+			d.Release(th, lockA)
+			d.Acquire(th, lockB)
+			b = d.ReadUint64(th, areaB)
+			d.Release(th, lockB)
+		})
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if a != 12 || b != 12 {
+			t.Fatalf("counters = %d,%d; want 12,12", a, b)
+		}
+		st := d.Stats()
+		return st.PageSends + st.DiffsSent, a + b
+	}
+	entryTraffic, _ := run(func(i IDs) core.ProtoID { return i.EntryMW }, true)
+	hbrcTraffic, _ := run(func(i IDs) core.ProtoID { return i.HbrcMW }, false)
+	if entryTraffic > hbrcTraffic {
+		t.Fatalf("entry consistency traffic (%d) exceeds hbrc_mw (%d)", entryTraffic, hbrcTraffic)
+	}
+	t.Logf("traffic: entry_mw=%d hbrc_mw=%d (pages+diffs)", entryTraffic, hbrcTraffic)
+}
+
+func TestEntryBarrierIsGlobalSync(t *testing.T) {
+	rt, d, ids := harness(2, madeleine.BIPMyrinet, 4)
+	d.SetDefaultProtocol(ids.EntryMW)
+	area := d.MustMalloc(0, 8, nil)
+	bar := d.NewBarrier(2)
+	var got uint64
+	rt.CreateThread(0, "w", func(th *pm2.Thread) {
+		d.WriteUint64(th, area, 77)
+		d.Barrier(th, bar)
+		d.Barrier(th, bar)
+	})
+	rt.CreateThread(1, "r", func(th *pm2.Thread) {
+		d.Barrier(th, bar)
+		got = d.ReadUint64(th, area)
+		d.Barrier(th, bar)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 77 {
+		t.Fatalf("barrier did not synchronize unbound data: got %d", got)
+	}
+}

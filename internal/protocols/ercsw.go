@@ -1,0 +1,130 @@
+package protocols
+
+import (
+	"sort"
+
+	"dsmpm2/internal/core"
+	"dsmpm2/internal/memory"
+)
+
+// ercSW implements eager release consistency with an MRSW protocol
+// (Section 3.2): page replication on read faults and page-plus-ownership
+// migration on write faults, using the same dynamic distributed manager
+// scheme as li_hudak — but copies are not invalidated when the write
+// happens. Readers may keep (stale) copies for the duration of the writer's
+// critical section; "pages in the copyset get invalidated on lock release",
+// eagerly and with acknowledgements, which is what makes the release a
+// release.
+type ercSW struct {
+	d *core.DSM
+	// dirty tracks, per node, the pages written since the last release
+	// (the write fault marks them). Only the owner invalidates.
+	dirty []map[core.Page]bool
+}
+
+func newErcSW(d *core.DSM) *ercSW {
+	p := &ercSW{d: d}
+	for i := 0; i < d.Runtime().Nodes(); i++ {
+		p.dirty = append(p.dirty, make(map[core.Page]bool))
+	}
+	return p
+}
+
+// Name implements core.Protocol.
+func (p *ercSW) Name() string { return "erc_sw" }
+
+// ReadFaultHandler brings a read copy from the owner.
+func (p *ercSW) ReadFaultHandler(f *core.Fault) { core.FetchPage(f, false) }
+
+// WriteFaultHandler brings the page with ownership and marks it dirty; the
+// copyset it arrives with is invalidated at the next release.
+func (p *ercSW) WriteFaultHandler(f *core.Fault) {
+	core.FetchPage(f, true)
+	// FetchPage returns with the entry lock held.
+	p.dirty[f.Node][f.Page] = true
+}
+
+// ReadServer grants a read copy, exactly like li_hudak.
+func (p *ercSW) ReadServer(r *core.Request) {
+	e, owner := core.ServeWhenOwner(r)
+	if !owner {
+		core.ForwardRequest(r, e)
+		return
+	}
+	e.AddCopyset(r.From)
+	p.d.Space(r.Node).SetAccess(r.Page, memory.ReadOnly)
+	core.SendPage(r, e, r.From, memory.ReadOnly, false, nil)
+	e.Unlock(r.Thread)
+}
+
+// WriteServer transfers the page, write rights and ownership — and, unlike
+// li_hudak, the copyset travels with the ownership instead of being
+// invalidated: release consistency defers the invalidations to the release.
+// The old owner keeps a read copy and joins the copyset.
+func (p *ercSW) WriteServer(r *core.Request) {
+	e, owner := core.ServeWhenOwner(r)
+	if !owner {
+		core.ForwardRequest(r, e)
+		return
+	}
+	cs := e.TakeCopyset()
+	has := false
+	for _, n := range cs {
+		if n == r.Node {
+			has = true
+		}
+	}
+	if !has {
+		cs = append(cs, r.Node) // we stay behind as a reader
+	}
+	// The requester must not appear in its own copyset.
+	out := cs[:0]
+	for _, n := range cs {
+		if n != r.From {
+			out = append(out, n)
+		}
+	}
+	cs = out
+	sort.Ints(cs)
+	core.SendPage(r, e, r.From, memory.ReadWrite, true, cs)
+	e.Owner = false
+	e.ProbOwner = r.From
+	p.d.Space(r.Node).SetAccess(r.Page, memory.ReadOnly)
+	e.Unlock(r.Thread)
+}
+
+// InvalidateServer drops the local copy.
+func (p *ercSW) InvalidateServer(iv *core.Invalidate) { core.DropCopy(iv) }
+
+// ReceivePageServer installs the arriving copy (with its copyset, when
+// ownership travels).
+func (p *ercSW) ReceivePageServer(pm *core.PageMsg) { core.InstallPage(pm) }
+
+// LockAcquire is a no-op: erc_sw propagates eagerly at release.
+func (p *ercSW) LockAcquire(*core.SyncEvent) {}
+
+// LockRelease eagerly invalidates the copysets of every page this node wrote
+// since the previous release, blocking until all copies are acknowledged
+// gone.
+func (p *ercSW) LockRelease(s *core.SyncEvent) {
+	node := s.Node
+	pages := make([]core.Page, 0, len(p.dirty[node]))
+	for pg := range p.dirty[node] {
+		pages = append(pages, pg)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, pg := range pages {
+		delete(p.dirty[node], pg)
+		e := p.d.Entry(node, pg)
+		e.Lock(s.Thread)
+		if !e.Owner {
+			// Ownership moved on before our release: the new owner
+			// inherited the copyset and the invalidation duty.
+			e.Unlock(s.Thread)
+			continue
+		}
+		cs := e.TakeCopyset()
+		core.InvalidateCopies(p.d, s.Thread, pg, cs, -1)
+		e.Unlock(s.Thread)
+	}
+}

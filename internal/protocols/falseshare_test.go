@@ -1,0 +1,87 @@
+package protocols
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmpm2/internal/core"
+	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/pm2"
+	"dsmpm2/internal/sim"
+)
+
+// falseShareRun has every node increment its own counter — all counters on
+// the SAME page — under per-node locks. Single-writer protocols ping-pong
+// the page between the writers; multiple-writer protocols let each node keep
+// a writable copy and merge diffs at the home. This is the workload that
+// motivates MRMW protocols like hbrc_mw (Section 3.2).
+func falseShareRun(t *testing.T, proto core.ProtoID, d *core.DSM, rt *pm2.Runtime, nodes, incr int) sim.Time {
+	t.Helper()
+	d.SetDefaultProtocol(proto)
+	base := d.MustMalloc(0, core.PageSize, nil)
+	locks := make([]int, nodes)
+	for n := range locks {
+		locks[n] = d.NewLock(0)
+	}
+	for n := 0; n < nodes; n++ {
+		node := n
+		addr := base + core.Addr(64*node) // own slot, same page
+		rt.CreateThread(node, fmt.Sprintf("w%d", node), func(th *pm2.Thread) {
+			for i := 0; i < incr; i++ {
+				d.Acquire(th, locks[node])
+				d.WriteUint64(th, addr, d.ReadUint64(th, addr)+1)
+				d.Release(th, locks[node])
+			}
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Verify all counters via a reader that synchronizes with every lock.
+	ok := true
+	rt.CreateThread(0, "verify", func(th *pm2.Thread) {
+		for n := 0; n < nodes; n++ {
+			d.Acquire(th, locks[n])
+			if got := d.ReadUint64(th, base+core.Addr(64*n)); got != uint64(incr) {
+				t.Errorf("slot %d = %d, want %d", n, got, incr)
+				ok = false
+			}
+			d.Release(th, locks[n])
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.FailNow()
+	}
+	return rt.Now()
+}
+
+func TestFalseSharingMRMWBeatsMRSW(t *testing.T) {
+	const nodes, incr = 4, 12
+	rtH, dH, idsH := harness(nodes, madeleine.BIPMyrinet, 31)
+	hbrc := falseShareRun(t, idsH.HbrcMW, dH, rtH, nodes, incr)
+	rtL, dL, idsL := harness(nodes, madeleine.BIPMyrinet, 31)
+	li := falseShareRun(t, idsL.LiHudak, dL, rtL, nodes, incr)
+	if hbrc >= li {
+		t.Fatalf("false sharing: hbrc_mw (%v) not faster than li_hudak (%v)", hbrc, li)
+	}
+	t.Logf("false sharing x%d increments: hbrc_mw=%v li_hudak=%v (%.1fx)",
+		incr, hbrc, li, float64(li)/float64(hbrc))
+}
+
+func TestFalseSharingPageTrafficComparison(t *testing.T) {
+	const nodes, incr = 3, 10
+	traffic := func(pick func(IDs) core.ProtoID) int64 {
+		rt, d, ids := harness(nodes, madeleine.BIPMyrinet, 5)
+		falseShareRun(t, pick(ids), d, rt, nodes, incr)
+		return d.Stats().PageBytes
+	}
+	hbrc := traffic(func(i IDs) core.ProtoID { return i.HbrcMW })
+	li := traffic(func(i IDs) core.ProtoID { return i.LiHudak })
+	if hbrc >= li {
+		t.Fatalf("hbrc_mw page bytes (%d) not below li_hudak's (%d): diffs should replace page ping-pong",
+			hbrc, li)
+	}
+}

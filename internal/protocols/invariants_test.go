@@ -1,0 +1,186 @@
+package protocols
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dsmpm2/internal/core"
+	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/memory"
+	"dsmpm2/internal/pm2"
+)
+
+// checkMRSWInvariants sweeps the page table at quiescence for a
+// single-writer protocol:
+//   - exactly one node believes it owns each page;
+//   - if any node holds write access, no other node holds any access;
+//   - every node's copy of a read-shared page has identical contents.
+func checkMRSWInvariants(t *testing.T, d *core.DSM, nodes int, pages []core.Page) {
+	t.Helper()
+	for _, pg := range pages {
+		owners := 0
+		writers := 0
+		holders := 0
+		var ref []byte
+		for n := 0; n < nodes; n++ {
+			if d.Entry(n, pg).Owner {
+				owners++
+			}
+			switch d.Space(n).AccessOf(pg) {
+			case memory.ReadWrite:
+				writers++
+				holders++
+			case memory.ReadOnly:
+				holders++
+			}
+			if f := d.Space(n).Frame(pg); f != nil && f.Access != memory.NoAccess {
+				if ref == nil {
+					ref = f.Data
+				} else {
+					for i := range ref {
+						if ref[i] != f.Data[i] {
+							t.Errorf("page %d: replica contents diverge at byte %d", pg, i)
+							break
+						}
+					}
+				}
+			}
+		}
+		if owners != 1 {
+			t.Errorf("page %d: %d owners, want exactly 1", pg, owners)
+		}
+		if writers > 0 && holders > writers {
+			t.Errorf("page %d: %d writer(s) coexist with %d other holder(s) (MRSW violated)",
+				pg, writers, holders-writers)
+		}
+		if writers > 1 {
+			t.Errorf("page %d: %d writer nodes (MRSW violated)", pg, writers)
+		}
+	}
+}
+
+// TestMRSWInvariantsAfterRandomWorkload drives li_hudak (and the managed
+// variants) with a random lock-protected workload, then audits the whole
+// distributed page table.
+func TestMRSWInvariantsAfterRandomWorkload(t *testing.T) {
+	for _, pname := range []string{"li_hudak", "li_fixed", "li_central"} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("%s/seed=%d", pname, seed), func(t *testing.T) {
+				const nodes, npages = 4, 6
+				rt, d, _ := harness(nodes, madeleine.SISCISCI, seed)
+				id, _ := d.Registry().Lookup(pname)
+				d.SetDefaultProtocol(id)
+				addrs := make([]core.Addr, npages)
+				pages := make([]core.Page, npages)
+				for i := range addrs {
+					addrs[i] = d.MustMalloc(i%nodes, 8, nil)
+					pages[i] = d.Space(0).PageOf(addrs[i])
+				}
+				lock := d.NewLock(0)
+				rng := rand.New(rand.NewSource(seed))
+				type op struct {
+					slot  int
+					write bool
+				}
+				plans := make([][]op, nodes)
+				for n := range plans {
+					for k := 0; k < 15; k++ {
+						plans[n] = append(plans[n], op{slot: rng.Intn(npages), write: rng.Intn(2) == 0})
+					}
+				}
+				for n := 0; n < nodes; n++ {
+					node := n
+					rt.CreateThread(node, fmt.Sprintf("p%d", node), func(th *pm2.Thread) {
+						for _, o := range plans[node] {
+							d.Acquire(th, lock)
+							if o.write {
+								d.WriteUint64(th, addrs[o.slot], d.ReadUint64(th, addrs[o.slot])+1)
+							} else {
+								d.ReadUint64(th, addrs[o.slot])
+							}
+							d.Release(th, lock)
+						}
+					})
+				}
+				if err := rt.Run(); err != nil {
+					t.Fatal(err)
+				}
+				checkMRSWInvariants(t, d, nodes, pages)
+			})
+		}
+	}
+}
+
+// TestHomeBasedInvariantsAfterRandomWorkload audits the home-based MRMW
+// protocols: the home always holds the reference copy, and after all
+// releases no node has stale pending twins or recorded diffs (protocol
+// state drained).
+func TestHomeBasedInvariantsAfterRandomWorkload(t *testing.T) {
+	for _, pname := range []string{"hbrc_mw", "entry_mw"} {
+		t.Run(pname, func(t *testing.T) {
+			const nodes, npages = 3, 4
+			rt, d, _ := harness(nodes, madeleine.BIPMyrinet, 4)
+			id, _ := d.Registry().Lookup(pname)
+			d.SetDefaultProtocol(id)
+			addrs := make([]core.Addr, npages)
+			pages := make([]core.Page, npages)
+			for i := range addrs {
+				addrs[i] = d.MustMalloc(i%nodes, 8, nil)
+				pages[i] = d.Space(0).PageOf(addrs[i])
+			}
+			lock := d.NewLock(0)
+			for n := 0; n < nodes; n++ {
+				node := n
+				rt.CreateThread(node, fmt.Sprintf("p%d", node), func(th *pm2.Thread) {
+					for k := 0; k < 10; k++ {
+						slot := (node + k) % npages
+						d.Acquire(th, lock)
+						d.WriteUint64(th, addrs[slot], d.ReadUint64(th, addrs[slot])+1)
+						d.Release(th, lock)
+					}
+				})
+			}
+			if err := rt.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for i, pg := range pages {
+				home, _, _ := d.PageInfo(pg)
+				if d.Space(home).Frame(pg) == nil {
+					t.Errorf("page %d: home lost the reference copy", pg)
+				}
+				// Every write was lock-protected, so the home copy is
+				// exact: total increments = 10 writes per thread spread
+				// round-robin over the pages.
+				var got uint64
+				rt.CreateThread(home, "verify", func(th *pm2.Thread) {
+					d.Acquire(th, lock)
+					got = d.ReadUint64(th, addrs[i])
+					d.Release(th, lock)
+				})
+				if err := rt.Run(); err != nil {
+					t.Fatal(err)
+				}
+				want := uint64(0)
+				for n := 0; n < nodes; n++ {
+					for k := 0; k < 10; k++ {
+						if (n+k)%npages == i {
+							want++
+						}
+					}
+				}
+				if got != want {
+					t.Errorf("page %d: home value %d, want %d", pg, got, want)
+				}
+			}
+			// No node retains undrained twins after its last release.
+			for n := 0; n < nodes; n++ {
+				for _, pg := range pages {
+					if core.HasTwin(d.Entry(n, pg)) {
+						t.Errorf("node %d page %d: twin left behind after release", n, pg)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package protocols
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmpm2/internal/core"
+	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/memory"
+	"dsmpm2/internal/pm2"
+	"dsmpm2/internal/sim"
+)
+
+func TestLiFixedCounter(t *testing.T) {
+	runCounter(t, func(i IDs) core.ProtoID { return i.LiFixed }, 4, 10)
+}
+
+func TestLiCentralCounter(t *testing.T) {
+	runCounter(t, func(i IDs) core.ProtoID { return i.LiCentral }, 4, 10)
+}
+
+func TestManagedReadReplicatesAndWriteInvalidates(t *testing.T) {
+	for _, pick := range []struct {
+		name string
+		id   func(IDs) core.ProtoID
+	}{
+		{"li_fixed", func(i IDs) core.ProtoID { return i.LiFixed }},
+		{"li_central", func(i IDs) core.ProtoID { return i.LiCentral }},
+	} {
+		t.Run(pick.name, func(t *testing.T) {
+			rt, d, ids := harness(4, madeleine.BIPMyrinet, 1)
+			d.SetDefaultProtocol(pick.id(ids))
+			base := d.MustMalloc(1, 8, nil)
+			pg := d.Space(0).PageOf(base)
+			for n := 2; n < 4; n++ {
+				node := n
+				rt.CreateThread(node, fmt.Sprintf("r%d", node), func(th *pm2.Thread) {
+					d.ReadUint64(th, base)
+				})
+			}
+			if err := rt.Run(); err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range []int{2, 3} {
+				if d.Space(n).AccessOf(pg) != memory.ReadOnly {
+					t.Errorf("node %d has no read copy", n)
+				}
+			}
+			rt.CreateThread(3, "writer", func(th *pm2.Thread) {
+				d.WriteUint64(th, base, 7)
+			})
+			if err := rt.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if !d.Entry(3, pg).Owner {
+				t.Error("ownership did not reach the writer")
+			}
+			if d.Space(2).AccessOf(pg) != memory.NoAccess {
+				t.Error("reader copy survived the write")
+			}
+			var got uint64
+			rt.CreateThread(0, "verify", func(th *pm2.Thread) {
+				got = d.ReadUint64(th, base)
+			})
+			if err := rt.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if got != 7 {
+				t.Fatalf("read %d after ownership transfer, want 7", got)
+			}
+		})
+	}
+}
+
+func TestManagedOwnershipMovesSerially(t *testing.T) {
+	// Ownership hops across every node through the manager; the final
+	// value must be the last writer's.
+	for _, pick := range []func(IDs) core.ProtoID{
+		func(i IDs) core.ProtoID { return i.LiFixed },
+		func(i IDs) core.ProtoID { return i.LiCentral },
+	} {
+		rt, d, ids := harness(4, madeleine.SISCISCI, 3)
+		d.SetDefaultProtocol(pick(ids))
+		base := d.MustMalloc(0, 8, nil)
+		for n := 1; n < 4; n++ {
+			node := n
+			rt.CreateThread(node, fmt.Sprintf("w%d", node), func(th *pm2.Thread) {
+				th.Advance(sim.Duration(node) * 10 * sim.Millisecond)
+				d.WriteUint64(th, base, uint64(node))
+			})
+		}
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		var got uint64
+		rt.CreateThread(0, "verify", func(th *pm2.Thread) { got = d.ReadUint64(th, base) })
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if got != 3 {
+			t.Fatalf("final value = %d, want 3", got)
+		}
+	}
+}
+
+// TestManagerStrategyHopCounts verifies the structural difference the
+// ablation bench measures: with the page owned by a third node, a
+// centralized/fixed manager costs one forwarding hop (two control messages),
+// whereas li_hudak's hint points straight at the owner after first contact.
+func TestManagerStrategyHopCounts(t *testing.T) {
+	faultRequests := func(id func(IDs) core.ProtoID) int64 {
+		rt, d, ids := harness(3, madeleine.BIPMyrinet, 1)
+		d.SetDefaultProtocol(id(ids))
+		// Page homed on node 0 (the manager for li_fixed; node 0 is
+		// also li_central's manager); move ownership to node 2 first.
+		base := d.MustMalloc(0, 8, nil)
+		rt.CreateThread(2, "takeover", func(th *pm2.Thread) { d.WriteUint64(th, base, 1) })
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		before := d.Stats().Requests
+		// Now node 1 faults; its request must find the owner (node 2).
+		rt.CreateThread(1, "reader", func(th *pm2.Thread) { d.ReadUint64(th, base) })
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return d.Stats().Requests - before
+	}
+	fixed := faultRequests(func(i IDs) core.ProtoID { return i.LiFixed })
+	if fixed != 2 {
+		t.Errorf("li_fixed request messages = %d, want 2 (requester->manager->owner)", fixed)
+	}
+	dynamic := faultRequests(func(i IDs) core.ProtoID { return i.LiHudak })
+	if dynamic != 2 {
+		// li_hudak also needs 2 here (hint still points at the old
+		// owner, which forwards) — the win appears on repeat faults.
+		t.Logf("li_hudak request messages = %d", dynamic)
+	}
+}
+
+func TestManagedRegistryNames(t *testing.T) {
+	reg, ids := NewRegistry()
+	if reg.Name(ids.LiFixed) != "li_fixed" || reg.Name(ids.LiCentral) != "li_central" {
+		t.Fatal("managed protocols misregistered")
+	}
+}

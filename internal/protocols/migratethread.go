@@ -1,0 +1,50 @@
+package protocols
+
+import "dsmpm2/internal/core"
+
+// migrateThread implements sequential consistency with thread migration
+// (Section 3.1, Figure 3): pages never move or replicate — each page is
+// accessible, for read and write, on exactly one node (its fixed owner) —
+// and a faulting thread simply migrates to that node and repeats the access.
+// The protocol "essentially relies on a single function: the thread
+// migration primitive provided by PM2"; its cost profile is Table 4. Its
+// efficiency depends entirely on how the shared data is distributed, since
+// threads pile up on the nodes owning the data they access (Figure 4).
+type migrateThread struct {
+	d *core.DSM
+}
+
+// Name implements core.Protocol.
+func (p *migrateThread) Name() string { return "migrate_thread" }
+
+// ReadFaultHandler migrates the faulting thread to the page's owner.
+func (p *migrateThread) ReadFaultHandler(f *core.Fault) { core.MigrateToOwner(f) }
+
+// WriteFaultHandler migrates the faulting thread to the page's owner.
+func (p *migrateThread) WriteFaultHandler(f *core.Fault) { core.MigrateToOwner(f) }
+
+// ReadServer is never invoked: no page requests are ever sent.
+func (p *migrateThread) ReadServer(*core.Request) {
+	panic("migrate_thread: unexpected page request")
+}
+
+// WriteServer is never invoked: no page requests are ever sent.
+func (p *migrateThread) WriteServer(*core.Request) {
+	panic("migrate_thread: unexpected page request")
+}
+
+// InvalidateServer is never invoked: there are no copies to invalidate.
+func (p *migrateThread) InvalidateServer(*core.Invalidate) {
+	panic("migrate_thread: unexpected invalidation")
+}
+
+// ReceivePageServer is never invoked: pages are never transferred.
+func (p *migrateThread) ReceivePageServer(*core.PageMsg) {
+	panic("migrate_thread: unexpected page message")
+}
+
+// LockAcquire is a no-op.
+func (p *migrateThread) LockAcquire(*core.SyncEvent) {}
+
+// LockRelease is a no-op.
+func (p *migrateThread) LockRelease(*core.SyncEvent) {}

@@ -1,0 +1,122 @@
+package protocols
+
+import (
+	"math"
+	"testing"
+
+	"dsmpm2/internal/core"
+	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/pm2"
+	"dsmpm2/internal/sim"
+)
+
+func roundUS(d sim.Duration) int { return int(math.Round(d.Microseconds())) }
+
+// remoteReadFault allocates a page on node 1 and performs a single read from
+// node 0, returning the recorded fault timing.
+func remoteReadFault(t *testing.T, proto func(IDs) core.ProtoID, prof *madeleine.Profile) *core.FaultTiming {
+	t.Helper()
+	rt, d, ids := harness(2, prof, 1)
+	d.SetDefaultProtocol(proto(ids))
+	base := d.MustMalloc(1, core.PageSize, nil)
+	rt.CreateThread(0, "reader", func(th *pm2.Thread) {
+		d.ReadUint64(th, base)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	recs := d.Timings().All()
+	if len(recs) != 1 {
+		t.Fatalf("recorded %d fault timings, want 1", len(recs))
+	}
+	return recs[0]
+}
+
+// TestTable3ReadFaultBreakdown reproduces the paper's Table 3: processing a
+// read fault under the page-migration policy, step by step, on all four
+// networks.
+func TestTable3ReadFaultBreakdown(t *testing.T) {
+	rows := []struct {
+		prof                               *madeleine.Profile
+		fault, request, transfer, ovh, tot int
+	}{
+		{madeleine.BIPMyrinet, 11, 23, 138, 26, 198},
+		{madeleine.TCPMyrinet, 11, 220, 343, 26, 600},
+		{madeleine.TCPFastEthernet, 11, 220, 736, 26, 993},
+		{madeleine.SISCISCI, 11, 38, 119, 26, 194},
+	}
+	for _, row := range rows {
+		ft := remoteReadFault(t, func(i IDs) core.ProtoID { return i.LiHudak }, row.prof)
+		if got := roundUS(ft.Detect); got != row.fault {
+			t.Errorf("%s: page fault = %dus, want %d", row.prof.Name, got, row.fault)
+		}
+		if got := roundUS(ft.Request); got != row.request {
+			t.Errorf("%s: request page = %dus, want %d", row.prof.Name, got, row.request)
+		}
+		if got := roundUS(ft.Transfer); got != row.transfer {
+			t.Errorf("%s: page transfer = %dus, want %d", row.prof.Name, got, row.transfer)
+		}
+		if got := roundUS(ft.ProtocolOverhead()); got != row.ovh {
+			t.Errorf("%s: protocol overhead = %dus, want %d", row.prof.Name, got, row.ovh)
+		}
+		if got := roundUS(ft.Total); got != row.tot {
+			t.Errorf("%s: total = %dus, want %d", row.prof.Name, got, row.tot)
+		}
+	}
+}
+
+// TestTable4ReadFaultBreakdown reproduces the paper's Table 4: processing a
+// read fault under the thread-migration policy.
+func TestTable4ReadFaultBreakdown(t *testing.T) {
+	rows := []struct {
+		prof                   *madeleine.Profile
+		fault, mig, ovh, total int
+	}{
+		{madeleine.BIPMyrinet, 11, 75, 1, 87},
+		{madeleine.TCPMyrinet, 11, 280, 1, 292},
+		{madeleine.TCPFastEthernet, 11, 373, 1, 385},
+		{madeleine.SISCISCI, 11, 62, 1, 74},
+	}
+	for _, row := range rows {
+		ft := remoteReadFault(t, func(i IDs) core.ProtoID { return i.MigrateThread }, row.prof)
+		if got := roundUS(ft.Detect); got != row.fault {
+			t.Errorf("%s: page fault = %dus, want %d", row.prof.Name, got, row.fault)
+		}
+		if got := roundUS(ft.Migration); got != row.mig {
+			t.Errorf("%s: thread migration = %dus, want %d", row.prof.Name, got, row.mig)
+		}
+		if got := roundUS(ft.ProtocolOverhead()); got != row.ovh {
+			t.Errorf("%s: protocol overhead = %dus, want %d", row.prof.Name, got, row.ovh)
+		}
+		if got := roundUS(ft.Total); got != row.total {
+			t.Errorf("%s: total = %dus, want %d", row.prof.Name, got, row.total)
+		}
+	}
+}
+
+// TestProtocolOverheadShare checks the paper's observation that the DSM-PM2
+// protocol overhead is at most ~15% of the total page-based access time.
+func TestProtocolOverheadShare(t *testing.T) {
+	for _, prof := range madeleine.Profiles {
+		ft := remoteReadFault(t, func(i IDs) core.ProtoID { return i.LiHudak }, prof)
+		share := float64(ft.ProtocolOverhead()) / float64(ft.Total)
+		if share > 0.15 {
+			t.Errorf("%s: protocol overhead is %.0f%% of total, paper says <= 15%%",
+				prof.Name, share*100)
+		}
+	}
+}
+
+// TestMigrationBeatsPageTransferOnSingleFault checks the Section 4
+// comparison: for a single fault with a small-stack thread, the
+// thread-migration implementation outperforms the page-transfer one.
+func TestMigrationBeatsPageTransferOnSingleFault(t *testing.T) {
+	for _, prof := range madeleine.Profiles {
+		page := remoteReadFault(t, func(i IDs) core.ProtoID { return i.LiHudak }, prof)
+		mig := remoteReadFault(t, func(i IDs) core.ProtoID { return i.MigrateThread }, prof)
+		if mig.Total >= page.Total {
+			t.Errorf("%s: migration fault (%v) not faster than page fault (%v)",
+				prof.Name, mig.Total, page.Total)
+		}
+	}
+}

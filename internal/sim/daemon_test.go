@@ -1,0 +1,73 @@
+package sim
+
+import "testing"
+
+func TestDaemonDoesNotBlockTermination(t *testing.T) {
+	e := NewEngine(1)
+	d := e.Go("daemon", func(p *Proc) {
+		p.Park("service loop")
+	})
+	d.MarkDaemon()
+	e.Go("app", func(p *Proc) { p.Advance(10) })
+	if err := e.Run(); err != nil {
+		t.Fatalf("run with parked daemon returned %v", err)
+	}
+}
+
+func TestDaemonExcludedFromDeadlockReport(t *testing.T) {
+	e := NewEngine(1)
+	d := e.Go("daemon", func(p *Proc) { p.Park("service loop") })
+	d.MarkDaemon()
+	e.Go("stuck", func(p *Proc) { p.Park("forgotten") })
+	err := e.Run()
+	de, ok := err.(*DeadlockError)
+	if !ok {
+		t.Fatalf("want deadlock, got %v", err)
+	}
+	if len(de.Blocked) != 1 {
+		t.Fatalf("deadlock report = %v; daemon must not appear", de.Blocked)
+	}
+}
+
+func TestDaemonFlagQueries(t *testing.T) {
+	e := NewEngine(1)
+	p := e.Go("d", func(p *Proc) { p.Park("x") })
+	if p.Daemon() {
+		t.Fatal("fresh proc marked daemon")
+	}
+	p.MarkDaemon()
+	if !p.Daemon() {
+		t.Fatal("MarkDaemon had no effect")
+	}
+	if e.Live() != 0 {
+		t.Fatalf("daemon counted as live: %d", e.Live())
+	}
+	p.MarkDaemon() // idempotent
+	if e.Live() != 0 {
+		t.Fatal("double MarkDaemon corrupted live count")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveCountWithMixedProcs(t *testing.T) {
+	e := NewEngine(1)
+	d := e.Go("daemon", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Advance(100)
+		}
+		// Daemon that finishes: must not double-decrement.
+	})
+	d.MarkDaemon()
+	e.Go("app", func(p *Proc) { p.Advance(1000) })
+	if e.Live() != 1 {
+		t.Fatalf("live = %d, want 1 (daemon excluded)", e.Live())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Live() != 0 {
+		t.Fatalf("live = %d after run", e.Live())
+	}
+}

@@ -1,0 +1,159 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// event is a scheduled callback. Events with equal times fire in scheduling
+// order (seq breaks ties), which is what makes the simulation deterministic.
+type event struct {
+	t   Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a sequential discrete-event simulation kernel. It owns the
+// virtual clock and the event queue, and multiplexes any number of Procs
+// (simulated threads) one at a time.
+//
+// The zero value is not usable; create engines with NewEngine.
+type Engine struct {
+	now   Time
+	seq   uint64
+	queue eventHeap
+
+	cur    *Proc         // proc currently holding the simulation token
+	park   chan struct{} // procs signal here when they yield back
+	nextID int
+	nlive  int // procs spawned and not yet finished
+
+	rng *rand.Rand
+
+	parked  map[*Proc]string // blocked procs -> reason, for deadlock reports
+	stopped bool
+	onIdle  func() bool // optional hook when queue drains with live procs
+}
+
+// NewEngine creates an engine whose random source is seeded with seed, so
+// that identical seeds replay identical simulations.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		park:   make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+		parked: make(map[*Proc]string),
+	}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. It must only be
+// used from simulation context (engine callbacks or running procs).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Schedule runs fn at time t (>= Now). fn executes in engine context and
+// must not block; to run simulated-thread code use Spawn or Unpark.
+func (e *Engine) Schedule(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{t: t, seq: e.seq, fn: fn})
+}
+
+// After runs fn d from now, in engine context.
+func (e *Engine) After(d Duration, fn func()) { e.Schedule(e.now.Add(d), fn) }
+
+// DeadlockError reports that the event queue drained while simulated threads
+// were still blocked.
+type DeadlockError struct {
+	Now     Time
+	Blocked []string // "name (reason)" for each blocked proc
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%v: %d proc(s) blocked: %s",
+		d.Now, len(d.Blocked), strings.Join(d.Blocked, "; "))
+}
+
+// Run drives the simulation until the event queue is empty. It returns nil
+// if every spawned proc has finished, or a *DeadlockError if procs remain
+// blocked with no pending events. Run must be called from the goroutine that
+// owns the engine (typically the test or main goroutine), and only once at a
+// time.
+func (e *Engine) Run() error {
+	for e.queue.Len() > 0 && !e.stopped {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.t
+		ev.fn()
+		if e.queue.Len() == 0 && e.nlive > 0 && e.onIdle != nil {
+			if !e.onIdle() {
+				break
+			}
+		}
+	}
+	if e.nlive > 0 && !e.stopped {
+		blocked := make([]string, 0, len(e.parked))
+		for p, reason := range e.parked {
+			if p.daemon {
+				continue
+			}
+			blocked = append(blocked, fmt.Sprintf("%s (%s)", p.name, reason))
+		}
+		sort.Strings(blocked)
+		return &DeadlockError{Now: e.now, Blocked: blocked}
+	}
+	return nil
+}
+
+// Stop aborts the simulation: Run returns after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// SetIdleHook installs fn, called whenever the queue drains while procs are
+// still live. Returning true continues (fn must have scheduled new events);
+// returning false stops the run. Used by drivers that feed external work in.
+func (e *Engine) SetIdleHook(fn func() bool) { e.onIdle = fn }
+
+// Live reports the number of procs that have been spawned and not finished.
+func (e *Engine) Live() int { return e.nlive }
+
+// runProc transfers control to p until it parks or finishes. Only called
+// from engine context (inside an event callback).
+func (e *Engine) runProc(p *Proc) {
+	if p.dead {
+		return
+	}
+	prev := e.cur
+	e.cur = p
+	p.wake <- struct{}{}
+	<-e.park
+	e.cur = prev
+}
+
+// Cur returns the proc currently running, or nil when in pure engine context.
+func (e *Engine) Cur() *Proc { return e.cur }

@@ -1,0 +1,131 @@
+package sim
+
+import "fmt"
+
+// Proc is a simulated thread: a goroutine that runs only while it holds the
+// simulation token. Procs advance virtual time explicitly with Advance and
+// block with Park; the engine resumes them in deterministic event order.
+type Proc struct {
+	eng    *Engine
+	id     int
+	name   string
+	wake   chan struct{}
+	dead   bool
+	daemon bool
+
+	// Local is a free slot for the runtime layered above (PM2 stores the
+	// owning thread descriptor here).
+	Local interface{}
+}
+
+// Spawn creates a new simulated thread named name that will start executing
+// fn at virtual time start (>= Now). fn runs in simulation context: it may
+// call Advance, Park and the synchronization primitives in this package.
+func (e *Engine) Spawn(name string, start Time, fn func(p *Proc)) *Proc {
+	e.nextID++
+	p := &Proc{
+		eng:  e,
+		id:   e.nextID,
+		name: name,
+		wake: make(chan struct{}),
+	}
+	e.nlive++
+	go func() {
+		<-p.wake // wait for first dispatch
+		fn(p)
+		p.dead = true
+		if !p.daemon {
+			e.nlive--
+		}
+		e.park <- struct{}{} // final yield; never woken again
+	}()
+	e.Schedule(start, func() { e.runProc(p) })
+	return p
+}
+
+// Go spawns fn at the current virtual time. It is the common case of Spawn.
+func (e *Engine) Go(name string, fn func(p *Proc)) *Proc {
+	return e.Spawn(name, e.now, fn)
+}
+
+// MarkDaemon excludes p from run-completion and deadlock accounting. Use it
+// for service procs (RPC dispatchers, monitors) that park forever by design:
+// a simulation whose only remaining procs are daemons terminates normally.
+func (p *Proc) MarkDaemon() {
+	if !p.daemon && !p.dead {
+		p.daemon = true
+		p.eng.nlive--
+	}
+}
+
+// Daemon reports whether p has been marked as a daemon.
+func (p *Proc) Daemon() bool { return p.daemon }
+
+// ID returns the proc's unique id (assigned in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// Name returns the proc's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this proc runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// yield returns control to the engine and blocks until woken.
+func (p *Proc) yield() {
+	p.eng.park <- struct{}{}
+	<-p.wake
+}
+
+// Advance consumes d of virtual time: the proc is suspended and resumes once
+// the clock reaches Now+d. Negative durations are treated as zero.
+func (p *Proc) Advance(d Duration) {
+	p.checkRunning("Advance")
+	if d < 0 {
+		d = 0
+	}
+	e := p.eng
+	e.Schedule(e.now.Add(d), func() { e.runProc(p) })
+	p.yield()
+}
+
+// Yield gives other same-time events a chance to run before p continues.
+func (p *Proc) Yield() { p.Advance(0) }
+
+// Park blocks the proc indefinitely; some other party must call Unpark.
+// reason is used in deadlock reports.
+func (p *Proc) Park(reason string) {
+	p.checkRunning("Park")
+	p.eng.parked[p] = reason
+	p.yield()
+	delete(p.eng.parked, p)
+}
+
+// Unpark schedules p to resume at the current virtual time. It may be called
+// from any simulation context (another proc or an engine event callback). It
+// is an error to unpark a proc that is not parked; the kernel does not check
+// this, so the synchronization primitives in this package are careful to
+// maintain it.
+func (p *Proc) Unpark() {
+	e := p.eng
+	e.Schedule(e.now, func() { e.runProc(p) })
+}
+
+// checkRunning panics if p is not the proc currently holding the token.
+// Blocking operations from outside simulation context would hang the kernel,
+// so this fails fast instead.
+func (p *Proc) checkRunning(op string) {
+	if p.eng.cur != p {
+		panic(fmt.Sprintf("sim: %s called on proc %q which is not running (cur=%v)",
+			op, p.name, curName(p.eng)))
+	}
+}
+
+func curName(e *Engine) string {
+	if e.cur == nil {
+		return "<engine>"
+	}
+	return e.cur.name
+}

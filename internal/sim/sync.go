@@ -1,0 +1,248 @@
+package sim
+
+import "fmt"
+
+// Mutex is a FIFO mutual-exclusion lock for simulated threads. Unlike
+// sync.Mutex it is strictly fair: waiters are granted the lock in arrival
+// order, which keeps simulations deterministic. The zero value is unlocked.
+type Mutex struct {
+	owner   *Proc
+	waiters []*Proc
+}
+
+// Lock acquires m, blocking the calling proc until it is available. Lock is
+// handoff-style: an unlocking proc passes ownership directly to the oldest
+// waiter.
+func (m *Mutex) Lock(p *Proc) {
+	if m.owner == nil {
+		m.owner = p
+		return
+	}
+	if m.owner == p {
+		panic(fmt.Sprintf("sim: proc %q locking mutex it already owns", p.name))
+	}
+	m.waiters = append(m.waiters, p)
+	p.Park("mutex lock")
+}
+
+// TryLock acquires m if it is free and reports whether it did.
+func (m *Mutex) TryLock(p *Proc) bool {
+	if m.owner == nil {
+		m.owner = p
+		return true
+	}
+	return false
+}
+
+// Unlock releases m. It panics if p does not own the mutex.
+func (m *Mutex) Unlock(p *Proc) {
+	if m.owner != p {
+		panic(fmt.Sprintf("sim: proc %q unlocking mutex owned by %v", p.name, ownerName(m.owner)))
+	}
+	if len(m.waiters) == 0 {
+		m.owner = nil
+		return
+	}
+	next := m.waiters[0]
+	m.waiters = m.waiters[1:]
+	m.owner = next
+	next.Unpark()
+}
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.owner != nil }
+
+func ownerName(p *Proc) string {
+	if p == nil {
+		return "<nobody>"
+	}
+	return p.name
+}
+
+// Cond is a condition variable associated with a Mutex, with the usual
+// Wait/Signal/Broadcast contract. Waiters are woken in FIFO order.
+type Cond struct {
+	L       *Mutex
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable that uses l as its lock.
+func NewCond(l *Mutex) *Cond { return &Cond{L: l} }
+
+// Wait atomically releases the lock and suspends the proc; on wakeup it
+// re-acquires the lock before returning. As with sync.Cond, callers must
+// re-check their predicate in a loop.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	c.L.Unlock(p)
+	p.Park("cond wait")
+	c.L.Lock(p)
+}
+
+// Signal wakes the oldest waiter, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	w.Unpark()
+}
+
+// Broadcast wakes all waiters.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		w.Unpark()
+	}
+	c.waiters = nil
+}
+
+// Semaphore is a counting semaphore with FIFO wakeups. A semaphore with n
+// units models a pool of n identical servers (for example the CPUs of a
+// node).
+type Semaphore struct {
+	avail   int
+	waiters []*Proc
+}
+
+// NewSemaphore returns a semaphore holding n units.
+func NewSemaphore(n int) *Semaphore { return &Semaphore{avail: n} }
+
+// Acquire takes one unit, blocking until one is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	if s.avail > 0 && len(s.waiters) == 0 {
+		s.avail--
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.Park("semaphore acquire")
+}
+
+// Release returns one unit, waking the oldest waiter if any. A release with
+// waiters present hands the unit directly to the waiter.
+func (s *Semaphore) Release() {
+	if len(s.waiters) > 0 {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		w.Unpark()
+		return
+	}
+	s.avail++
+}
+
+// Available reports the number of free units.
+func (s *Semaphore) Available() int { return s.avail }
+
+// Barrier blocks procs until n of them have arrived, then releases them all.
+// It is reusable (generation-counted), like a classic sense-reversing
+// barrier.
+type Barrier struct {
+	n       int
+	arrived int
+	gen     int
+	waiters []*Proc
+}
+
+// NewBarrier returns a barrier for n participants. n must be >= 1.
+func NewBarrier(n int) *Barrier {
+	if n < 1 {
+		panic("sim: barrier participant count must be >= 1")
+	}
+	return &Barrier{n: n}
+}
+
+// Wait blocks until n procs (including this one) have called Wait in the
+// current generation. It returns true for exactly one participant per
+// generation (the last arriver), which mirrors the "serial thread" idiom.
+func (b *Barrier) Wait(p *Proc) bool {
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		for _, w := range b.waiters {
+			w.Unpark()
+		}
+		b.waiters = nil
+		return true
+	}
+	b.waiters = append(b.waiters, p)
+	p.Park("barrier wait")
+	return false
+}
+
+// Resource is a FIFO server queue: Use(p, d) occupies the resource for d of
+// virtual time, queuing behind earlier users. With capacity k it models k
+// identical servers (e.g. a node with k CPUs): the DSM applications charge
+// their compute phases against their node's Resource so that piling many
+// threads onto one node slows them down, exactly the effect the paper's
+// Figure 4 attributes to the thread-migration protocol.
+type Resource struct {
+	sem *Semaphore
+	// busy accumulates total occupied time, for utilization reports.
+	busy Duration
+}
+
+// NewResource returns a resource with capacity servers.
+func NewResource(capacity int) *Resource {
+	if capacity < 1 {
+		panic("sim: resource capacity must be >= 1")
+	}
+	return &Resource{sem: NewSemaphore(capacity)}
+}
+
+// Use occupies one server for d of virtual time.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.sem.Acquire(p)
+	p.Advance(d)
+	r.busy += d
+	r.sem.Release()
+}
+
+// Busy reports the cumulative time servers were occupied.
+func (r *Resource) Busy() Duration { return r.busy }
+
+// Chan is an unbounded FIFO message queue with blocking receive. It is the
+// building block for simulated network endpoints: senders (or engine event
+// callbacks, e.g. message-delivery events) push without blocking, receivers
+// block until a message arrives.
+type Chan struct {
+	q       []interface{}
+	waiters []*Proc
+}
+
+// Push appends v and wakes one waiting receiver. Push may be called from any
+// simulation context, including engine event callbacks.
+func (c *Chan) Push(v interface{}) {
+	c.q = append(c.q, v)
+	if len(c.waiters) > 0 {
+		w := c.waiters[0]
+		c.waiters = c.waiters[1:]
+		w.Unpark()
+	}
+}
+
+// Recv removes and returns the oldest message, blocking while the queue is
+// empty.
+func (c *Chan) Recv(p *Proc) interface{} {
+	for len(c.q) == 0 {
+		c.waiters = append(c.waiters, p)
+		p.Park("chan recv")
+	}
+	v := c.q[0]
+	c.q = c.q[1:]
+	return v
+}
+
+// TryRecv removes and returns the oldest message without blocking. The
+// second result reports whether a message was available.
+func (c *Chan) TryRecv() (interface{}, bool) {
+	if len(c.q) == 0 {
+		return nil, false
+	}
+	v := c.q[0]
+	c.q = c.q[1:]
+	return v, true
+}
+
+// Len reports the number of queued messages.
+func (c *Chan) Len() int { return len(c.q) }

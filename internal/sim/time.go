@@ -1,0 +1,48 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// The kernel is the substrate on which the whole DSM-PM2 reproduction runs:
+// simulated cluster nodes, network links and user-level threads all advance a
+// shared virtual clock instead of wall-clock time. Exactly one simulated
+// thread (a Proc) runs at any instant; control is handed between the engine
+// goroutine and proc goroutines over unbuffered channels, which makes every
+// run with the same seed bit-for-bit reproducible.
+package sim
+
+import "fmt"
+
+// Time is a point in virtual time, measured in virtual nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// Duration is a span of virtual time in virtual nanoseconds.
+type Duration int64
+
+// Convenient duration units. The paper reports everything in microseconds, so
+// Microsecond is the unit used throughout the calibration tables.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Microseconds reports t as a floating-point number of microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Microseconds reports d as a floating-point number of microseconds.
+func (d Duration) Microseconds() float64 { return float64(d) / float64(Microsecond) }
+
+// Micros builds a Duration from a number of microseconds.
+func Micros(us float64) Duration { return Duration(us * float64(Microsecond)) }
+
+// String formats the time as microseconds, the paper's unit.
+func (t Time) String() string { return fmt.Sprintf("%.3fus", t.Microseconds()) }
+
+// String formats the duration as microseconds, the paper's unit.
+func (d Duration) String() string { return fmt.Sprintf("%.3fus", d.Microseconds()) }

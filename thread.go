@@ -1,0 +1,174 @@
+package dsmpm2
+
+import (
+	"fmt"
+
+	"dsmpm2/internal/pm2"
+	"dsmpm2/internal/trace"
+)
+
+// Thread is an application thread running on the DSM platform. Its methods
+// are the multithreaded DSM interface: typed shared accesses, object get/put
+// primitives, cluster-wide synchronization, explicit migration, and compute
+// accounting. When tracing is enabled every elementary operation is recorded
+// as a span for post-mortem analysis.
+type Thread struct {
+	sys *System
+	th  *pm2.Thread
+}
+
+// span wraps op in a trace record when tracing is on.
+func (t *Thread) span(name string, op func()) {
+	tr := t.sys.tr
+	if !tr.Enabled() {
+		op()
+		return
+	}
+	start := t.th.Now()
+	op()
+	tr.Add(trace.Span{
+		Name:   name,
+		Node:   t.th.Node(),
+		Thread: t.th.Name(),
+		Start:  start,
+		End:    t.th.Now(),
+	})
+}
+
+// Node returns the node the thread currently runs on.
+func (t *Thread) Node() int { return t.th.Node() }
+
+// Name returns the thread's name.
+func (t *Thread) Name() string { return t.th.Name() }
+
+// Now returns the current virtual time.
+func (t *Thread) Now() Time { return t.th.Now() }
+
+// Migrations reports how many times the thread has migrated.
+func (t *Thread) Migrations() int { return t.th.Migrations() }
+
+// Compute charges d of CPU time on the thread's current node; threads
+// sharing a node serialize here.
+func (t *Thread) Compute(d Duration) { t.span("compute", func() { t.th.Compute(d) }) }
+
+// Sleep consumes virtual time without occupying a CPU.
+func (t *Thread) Sleep(d Duration) { t.th.Advance(d) }
+
+// MigrateTo moves the thread to another node explicitly, paying the
+// stack-size-dependent migration latency.
+func (t *Thread) MigrateTo(node int) { t.span("migrate", func() { t.th.MigrateTo(node) }) }
+
+// Join blocks until other finishes.
+func (t *Thread) Join(other *Thread) { t.th.Join(other.th) }
+
+// Read copies shared memory at addr into buf.
+func (t *Thread) Read(addr Addr, buf []byte) {
+	t.span("dsm_read", func() { t.sys.dsm.Read(t.th, addr, buf) })
+}
+
+// Write copies buf into shared memory at addr.
+func (t *Thread) Write(addr Addr, buf []byte) {
+	t.span("dsm_write", func() { t.sys.dsm.Write(t.th, addr, buf) })
+}
+
+// ReadUint32 loads a shared little-endian uint32.
+func (t *Thread) ReadUint32(addr Addr) (v uint32) {
+	t.span("dsm_read", func() { v = t.sys.dsm.ReadUint32(t.th, addr) })
+	return v
+}
+
+// WriteUint32 stores a shared little-endian uint32.
+func (t *Thread) WriteUint32(addr Addr, v uint32) {
+	t.span("dsm_write", func() { t.sys.dsm.WriteUint32(t.th, addr, v) })
+}
+
+// ReadUint64 loads a shared little-endian uint64.
+func (t *Thread) ReadUint64(addr Addr) (v uint64) {
+	t.span("dsm_read", func() { v = t.sys.dsm.ReadUint64(t.th, addr) })
+	return v
+}
+
+// WriteUint64 stores a shared little-endian uint64.
+func (t *Thread) WriteUint64(addr Addr, v uint64) {
+	t.span("dsm_write", func() { t.sys.dsm.WriteUint64(t.th, addr, v) })
+}
+
+// ReadInt64 loads a shared int64.
+func (t *Thread) ReadInt64(addr Addr) int64 { return int64(t.ReadUint64(addr)) }
+
+// WriteInt64 stores a shared int64.
+func (t *Thread) WriteInt64(addr Addr, v int64) { t.WriteUint64(addr, uint64(v)) }
+
+// Get reads shared data through the protocol's get primitive (object
+// programs; falls back to the paged path for non-object protocols).
+func (t *Thread) Get(addr Addr, buf []byte) {
+	t.span("get", func() { t.sys.dsm.Get(t.th, addr, buf) })
+}
+
+// Put writes shared data through the protocol's put primitive.
+func (t *Thread) Put(addr Addr, buf []byte) {
+	t.span("put", func() { t.sys.dsm.Put(t.th, addr, buf) })
+}
+
+// GetField reads field i of obj.
+func (t *Thread) GetField(obj ObjRef, i int) (v uint64) {
+	t.span("get", func() { v = t.sys.dsm.GetField(t.th, obj, i) })
+	return v
+}
+
+// PutField writes field i of obj.
+func (t *Thread) PutField(obj ObjRef, i int, v uint64) {
+	t.span("put", func() { t.sys.dsm.PutField(t.th, obj, i, v) })
+}
+
+// Acquire takes a cluster-wide DSM lock, running the active protocols'
+// acquire consistency actions.
+func (t *Thread) Acquire(lock int) {
+	t.span("lock_acquire", func() { t.sys.dsm.Acquire(t.th, lock) })
+}
+
+// Release runs the active protocols' release consistency actions, then
+// releases the lock.
+func (t *Thread) Release(lock int) {
+	t.span("lock_release", func() { t.sys.dsm.Release(t.th, lock) })
+}
+
+// Barrier waits on a cluster-wide barrier (a release followed by an acquire
+// for consistency purposes).
+func (t *Thread) Barrier(bar int) {
+	t.span("barrier", func() { t.sys.dsm.Barrier(t.th, bar) })
+}
+
+// CondWait atomically releases the condition's lock and blocks until
+// signalled, then re-acquires the lock (Mesa semantics: re-check the
+// predicate in a loop).
+func (t *Thread) CondWait(cond int) {
+	t.span("cond_wait", func() { t.sys.dsm.CondWait(t.th, cond) })
+}
+
+// CondSignal wakes the oldest waiter on the condition.
+func (t *Thread) CondSignal(cond int) {
+	t.span("cond_signal", func() { t.sys.dsm.CondSignal(t.th, cond) })
+}
+
+// CondBroadcast wakes every waiter on the condition.
+func (t *Thread) CondBroadcast(cond int) {
+	t.span("cond_signal", func() { t.sys.dsm.CondBroadcast(t.th, cond) })
+}
+
+// SwitchProtocol re-associates a shared area with another protocol (by
+// name). The caller must guarantee the area is quiescent — no thread may
+// touch it during the switch; bracket it with barriers (Section 2.3).
+func (t *Thread) SwitchProtocol(base Addr, size int, protocol string) error {
+	id, ok := t.sys.Protocol(protocol)
+	if !ok {
+		return fmt.Errorf("dsmpm2: unknown protocol %q", protocol)
+	}
+	return t.sys.dsm.SwitchProtocol(t.th, base, size, id)
+}
+
+// System returns the owning platform instance.
+func (t *Thread) System() *System { return t.sys }
+
+// PM2 exposes the underlying PM2 thread for advanced use.
+func (t *Thread) PM2() *pm2.Thread { return t.th }
