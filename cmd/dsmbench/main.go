@@ -2,14 +2,22 @@
 // evaluation (Section 4), printing the paper's numbers next to the measured
 // ones.
 //
-//	dsmbench -exp all        # everything
-//	dsmbench -exp table3     # read fault, page-migration policy
-//	dsmbench -exp table4     # read fault, thread-migration policy
-//	dsmbench -exp fig4       # TSP protocol comparison
-//	dsmbench -exp fig5       # Java consistency comparison
-//	dsmbench -exp rpc        # null RPC micro-latency (Section 2.1)
-//	dsmbench -exp migration  # thread migration micro-latency (Section 2.1)
-//	dsmbench -exp protocols  # the built-in protocol registry (Table 2)
+//	dsmbench -exp all          # everything
+//	dsmbench -exp table3       # read fault, page-migration policy
+//	dsmbench -exp table4       # read fault, thread-migration policy
+//	dsmbench -exp fig4         # TSP protocol comparison
+//	dsmbench -exp fig5         # Java consistency comparison
+//	dsmbench -exp rpc          # null RPC micro-latency (Section 2.1)
+//	dsmbench -exp migration    # thread migration micro-latency (Section 2.1)
+//	dsmbench -exp protocols    # the built-in protocol registry (Table 2)
+//	dsmbench -exp multicluster # hierarchical topology: intra vs inter faults
+//	dsmbench -exp contention   # link bandwidth occupancy: queueing delay
+//
+// The multicluster experiment goes beyond the paper's uniform clusters: a
+// hierarchical topology with a fast intra-cluster profile and a slow
+// inter-cluster backbone, e.g.
+//
+//	dsmbench -topology hier -clusters 2 -intra SISCI/SCI -inter TCP/Ethernet
 package main
 
 import (
@@ -22,11 +30,18 @@ import (
 	"dsmpm2/internal/apps/mapcolor"
 	"dsmpm2/internal/apps/tsp"
 	"dsmpm2/internal/bench"
+	"dsmpm2/internal/madeleine"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all,rpc,migration,table3,table4,fig4,fig5,protocols")
+	exp := flag.String("exp", "all", "experiment: all,rpc,migration,table3,table4,fig4,fig5,protocols,multicluster,contention")
 	cities := flag.Int("cities", 11, "TSP cities for fig4 (paper: 14)")
+	topology := flag.String("topology", "hier", "multicluster topology: hier")
+	nodes := flag.Int("nodes", 8, "cluster size for multicluster")
+	clusters := flag.Int("clusters", 2, "cluster count for -topology hier")
+	intra := flag.String("intra", "SISCI/SCI", "intra-cluster profile for -topology hier")
+	inter := flag.String("inter", "TCP/Fast Ethernet", "inter-cluster profile for -topology hier")
+	readers := flag.Int("readers", 8, "concurrent transfers for the contention experiment")
 	flag.Parse()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
@@ -62,6 +77,14 @@ func main() {
 	if run("fig5") {
 		any = true
 		figure5()
+	}
+	if run("multicluster") {
+		any = true
+		multicluster(*topology, *nodes, *clusters, *intra, *inter)
+	}
+	if run("contention") {
+		any = true
+		contention(*readers)
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
@@ -236,4 +259,61 @@ func figure5() {
 		fmt.Println()
 	}
 	fmt.Println("expected shape: java_pf outperforms java_ic (page faults beat inline checks)")
+}
+
+// resolveProfile turns a -intra/-inter flag value into a profile or exits
+// with the list of valid names.
+func resolveProfile(flagName, name string) *dsmpm2.NetworkProfile {
+	p := dsmpm2.ResolveProfile(name)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "unknown -%s profile %q (have %v plus aliases like TCP/Ethernet, SCI)\n",
+			flagName, name, madeleine.ProfileNames())
+		os.Exit(2)
+	}
+	return p
+}
+
+// multicluster measures remote read faults across a heterogeneous topology
+// and reports the per-link-class cost split the uniform paper setup cannot
+// express.
+func multicluster(topology string, nodes, clusters int, intraName, interName string) {
+	if topology != "hier" {
+		fmt.Fprintf(os.Stderr, "unknown -topology %q (have: hier)\n", topology)
+		os.Exit(2)
+	}
+	if nodes < 1 || clusters < 1 {
+		fmt.Fprintf(os.Stderr, "invalid layout: -nodes %d -clusters %d (both must be >= 1)\n", nodes, clusters)
+		os.Exit(2)
+	}
+	intra := resolveProfile("intra", intraName)
+	inter := resolveProfile("inter", interName)
+	header(fmt.Sprintf("Multicluster: %d nodes in %d clusters, %s inside / %s between",
+		nodes, clusters, intra.Name, inter.Name))
+	faults := bench.HierReadFaults(nodes, clusters, intra, inter, "li_hudak")
+	fmt.Printf("%-20s %8s %18s\n", "link class", "faults", "mean total (us)")
+	byLink := map[string]bench.LinkFault{}
+	for _, f := range faults {
+		byLink[f.Link] = f
+		fmt.Printf("%-20s %8d %18.0f\n", f.Link, f.Count, f.MeanTotalUS)
+	}
+	in, okIn := byLink[intra.Name]
+	out, okOut := byLink[inter.Name]
+	if okIn && okOut {
+		fmt.Printf("inter-cluster faults cost %.1fx the intra-cluster ones\n",
+			out.MeanTotalUS/in.MeanTotalUS)
+	}
+	fmt.Println("(same protocol stack, only the link profiles differ — the paper's")
+	fmt.Println(" portability claim extended to heterogeneous clusters)")
+}
+
+// contention shows the link occupancy model: concurrent page transfers over
+// one saturated link serialize in virtual time.
+func contention(readers int) {
+	header(fmt.Sprintf("Link contention: %d concurrent 4 KiB transfers over one BIP/Myrinet link", readers))
+	res := bench.Contention(dsmpm2.BIPMyrinet, readers)
+	fmt.Printf("%-34s %12.0f\n", "mean fault, contention off (us)", res.MeanFaultOffUS)
+	fmt.Printf("%-34s %12.0f\n", "mean fault, contention on  (us)", res.MeanFaultOnUS)
+	fmt.Printf("%-34s %12d\n", "messages queued on busy link", res.Waits)
+	fmt.Printf("%-34s %12.0f\n", "total queueing delay (us)", res.WaitTimeUS)
+	fmt.Println("(off: transfers overlap for free; on: FIFO serialization per link)")
 }

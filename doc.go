@@ -23,6 +23,16 @@
 // for the substitution argument and EXPERIMENTS.md for paper-vs-measured
 // results.
 //
+// Beyond the paper's uniform clusters, the communication stack resolves
+// costs per (src,dst) link through a Topology: UniformTopology is the
+// calibrated single-profile special case, HierarchicalTopology models
+// multi-cluster machines (a fast intra-cluster profile, a slow backbone),
+// and LinkMatrixTopology assigns arbitrary per-pair profiles for asymmetric
+// scenarios. Config.LinkContention additionally serializes concurrent
+// transfers FIFO per directed link, so saturated links exhibit queueing
+// delay. Fault records attribute themselves to the link class their page
+// transfer crossed (FaultTiming.Link, TimingLog.ByLink).
+//
 // # Quick start
 //
 // Mirroring the paper's Figure 2 (selecting a built-in protocol and sharing

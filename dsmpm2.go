@@ -29,11 +29,42 @@ type (
 	FaultTiming = core.FaultTiming
 	// NetworkProfile is a calibrated interconnect cost model.
 	NetworkProfile = madeleine.Profile
+	// Topology resolves per-(src,dst) link cost profiles; see
+	// UniformTopology, HierarchicalTopology and LinkMatrixTopology.
+	Topology = madeleine.Topology
+	// LinkMatrix is the arbitrary per-pair topology, for asymmetric
+	// scenarios; build one with LinkMatrixTopology and SetLink/SetDuplex.
+	LinkMatrix = madeleine.LinkMatrix
+	// LinkSummary aggregates fault costs per link class.
+	LinkSummary = core.LinkSummary
 	// Time is virtual time.
 	Time = sim.Time
 	// Duration is virtual duration.
 	Duration = sim.Duration
 )
+
+// UniformTopology wraps a single profile as a topology: every node pair uses
+// the same calibrated cost model, bit-for-bit equivalent to Config.Network.
+func UniformTopology(p *NetworkProfile) Topology { return madeleine.NewUniform(p) }
+
+// HierarchicalTopology builds a multi-cluster topology from a node->cluster
+// assignment: same-cluster pairs use intra, cross-cluster pairs inter. Use
+// EvenClusters for the common equal-block assignment.
+func HierarchicalTopology(clusterOf []int, intra, inter *NetworkProfile) Topology {
+	return madeleine.NewHierarchical(clusterOf, intra, inter)
+}
+
+// LinkMatrixTopology builds an arbitrary per-pair topology whose unset links
+// use def.
+func LinkMatrixTopology(def *NetworkProfile) *LinkMatrix { return madeleine.NewLinkMatrix(def) }
+
+// EvenClusters assigns nodes to clusters in contiguous blocks as equal as
+// possible.
+var EvenClusters = madeleine.EvenClusters
+
+// ResolveProfile finds a network profile by canonical name, case-insensitive
+// name, or common alias ("TCP/Ethernet", "SCI", ...); nil if unknown.
+var ResolveProfile = madeleine.ResolveProfile
 
 // The four cluster networks evaluated in the paper.
 var (
@@ -62,8 +93,18 @@ type Config struct {
 	// CPUsPerNode models processors per node (default 1, like the
 	// paper's Pentium II nodes).
 	CPUsPerNode int
-	// Network selects the interconnect cost profile (default BIPMyrinet).
+	// Network selects the uniform interconnect cost profile (default
+	// BIPMyrinet); it is the single-cluster shorthand for Topology.
 	Network *NetworkProfile
+	// Topology, when set, overrides Network and resolves costs per
+	// (src,dst) link: heterogeneous clusters (HierarchicalTopology) or
+	// arbitrary per-pair profiles (LinkMatrixTopology).
+	Topology Topology
+	// LinkContention enables FIFO bandwidth occupancy per directed link:
+	// concurrent transfers on one link queue in virtual time instead of
+	// overlapping for free. Off by default, matching the paper's
+	// single-message calibration.
+	LinkContention bool
 	// Protocol names the default consistency protocol (default
 	// "li_hudak"); see ProtocolNames for the list.
 	Protocol string
@@ -85,7 +126,12 @@ type System struct {
 // New builds a System from cfg.
 func New(cfg Config) (*System, error) {
 	if cfg.Nodes == 0 {
-		cfg.Nodes = 2
+		// A topology bound to a node count implies the cluster size.
+		if s, ok := cfg.Topology.(madeleine.Sizer); ok {
+			cfg.Nodes = s.Nodes()
+		} else {
+			cfg.Nodes = 2
+		}
 	}
 	if cfg.Nodes < 1 {
 		return nil, fmt.Errorf("dsmpm2: invalid node count %d", cfg.Nodes)
@@ -99,11 +145,17 @@ func New(cfg Config) (*System, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if s, ok := cfg.Topology.(madeleine.Sizer); ok && s.Nodes() != cfg.Nodes {
+		return nil, fmt.Errorf("dsmpm2: topology %s is built for %d nodes, config has %d",
+			cfg.Topology.Name(), s.Nodes(), cfg.Nodes)
+	}
 	rt := pm2.NewRuntime(pm2.Config{
-		Nodes:       cfg.Nodes,
-		CPUsPerNode: cfg.CPUsPerNode,
-		Network:     cfg.Network,
-		Seed:        cfg.Seed,
+		Nodes:          cfg.Nodes,
+		CPUsPerNode:    cfg.CPUsPerNode,
+		Network:        cfg.Network,
+		Topology:       cfg.Topology,
+		LinkContention: cfg.LinkContention,
+		Seed:           cfg.Seed,
 	})
 	reg, ids := protocols.NewRegistry()
 	d := core.New(rt, reg, core.DefaultCosts())
@@ -224,8 +276,15 @@ func (s *System) Trace() *trace.Log { return s.tr }
 // Nodes reports the cluster size.
 func (s *System) Nodes() int { return s.rt.Nodes() }
 
-// Network returns the interconnect profile in use.
+// Network returns the uniform interconnect profile in use, or nil when the
+// system runs over a heterogeneous topology (use Topology or Link instead).
 func (s *System) Network() *NetworkProfile { return s.rt.Profile() }
+
+// Topology returns the interconnect topology in use.
+func (s *System) Topology() Topology { return s.rt.Topology() }
+
+// Link returns the cost profile governing messages from src to dst.
+func (s *System) Link(src, dst int) *NetworkProfile { return s.rt.Link(src, dst) }
 
 // DSM exposes the underlying core instance for advanced use (tests, tools).
 func (s *System) DSM() *core.DSM { return s.dsm }

@@ -1,0 +1,3 @@
+module dsmpm2
+
+go 1.24

@@ -43,6 +43,7 @@ type pageMsg struct {
 	copyset []int
 	timing  *FaultTiming
 	sentAt  sim.Time
+	link    string // profile name of the link carrying the transfer
 }
 
 // invMsg asks the destination to invalidate its copy of a page.
@@ -96,6 +97,7 @@ func (d *DSM) registerServices() {
 			m := arg.(*pageMsg)
 			if m.timing != nil {
 				m.timing.Transfer = h.Now().Sub(m.sentAt)
+				m.timing.Link = m.link
 			}
 			pm := &PageMsg{
 				DSM:     d,
@@ -129,7 +131,7 @@ func (d *DSM) registerServices() {
 			}
 			d.protoFor(m.page).InvalidateServer(iv)
 			if m.ack != nil {
-				d.rt.Network().SendDirect(m.ack, ctrlBytes, nil, d.rt.Profile().CtrlMsg)
+				d.rt.Network().SendDirect(m.ack, ctrlBytes, nil, d.rt.Link(h.Node(), m.from).CtrlMsg)
 			}
 			return nil
 		})
@@ -151,7 +153,7 @@ func (d *DSM) registerServices() {
 				})
 			}
 			if m.reply != nil {
-				d.rt.Network().SendDirect(m.reply, ctrlBytes, nil, d.rt.Profile().CtrlMsg)
+				d.rt.Network().SendDirect(m.reply, ctrlBytes, nil, d.rt.Link(h.Node(), m.from).CtrlMsg)
 			}
 			return nil
 		})
@@ -168,9 +170,12 @@ func (d *DSM) sendRequest(from, dest int, m *reqMsg) {
 
 // sendPage delivers a page copy to dest as a bulk transfer. The message
 // header travels inside the transfer's fixed base cost, so the charged
-// payload is exactly the page, as in the paper's Table 3 measurements.
+// payload is exactly the page, as in the paper's Table 3 measurements. The
+// carrying link's profile name is recorded for FaultTiming attribution, so
+// reports can split fault costs by link class (intra- vs inter-cluster).
 func (d *DSM) sendPage(from, dest int, m *pageMsg) {
 	m.sentAt = d.rt.Now()
+	m.link = d.rt.Link(from, dest).Name
 	d.stats.PageSends++
 	d.stats.PageBytes += int64(len(m.data))
 	d.rt.AsyncFrom(from, dest, svcPage, m, len(m.data))

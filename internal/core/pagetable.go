@@ -28,8 +28,12 @@ type Entry struct {
 	// Owner reports whether this node currently owns the page.
 	Owner bool
 
-	// Copyset lists the nodes holding read copies. It is meaningful on
-	// the owner (dynamic managers) or home (home-based protocols).
+	// Copyset lists the nodes holding read copies, kept sorted ascending
+	// (AddCopyset inserts in place, so membership tests binary-search
+	// instead of scanning — large-copyset invalidation sweeps would
+	// otherwise go quadratic). It is meaningful on the owner (dynamic
+	// managers) or home (home-based protocols). Code that assigns the
+	// slice directly must preserve the sorted invariant.
 	Copyset []int
 
 	// Pending marks a fetch in flight from this node, so concurrent
@@ -100,37 +104,34 @@ func (e *Entry) Broadcast() { e.cond.Broadcast() }
 
 // InCopyset reports whether node is recorded in the copyset.
 func (e *Entry) InCopyset(node int) bool {
-	for _, n := range e.Copyset {
-		if n == node {
-			return true
-		}
-	}
-	return false
+	i := sort.SearchInts(e.Copyset, node)
+	return i < len(e.Copyset) && e.Copyset[i] == node
 }
 
-// AddCopyset inserts node into the copyset if absent.
+// AddCopyset inserts node into the copyset if absent, keeping it sorted.
 func (e *Entry) AddCopyset(node int) {
-	if !e.InCopyset(node) {
-		e.Copyset = append(e.Copyset, node)
+	i := sort.SearchInts(e.Copyset, node)
+	if i < len(e.Copyset) && e.Copyset[i] == node {
+		return
 	}
+	e.Copyset = append(e.Copyset, 0)
+	copy(e.Copyset[i+1:], e.Copyset[i:])
+	e.Copyset[i] = node
 }
 
 // RemoveCopyset deletes node from the copyset.
 func (e *Entry) RemoveCopyset(node int) {
-	for i, n := range e.Copyset {
-		if n == node {
-			e.Copyset = append(e.Copyset[:i], e.Copyset[i+1:]...)
-			return
-		}
+	i := sort.SearchInts(e.Copyset, node)
+	if i < len(e.Copyset) && e.Copyset[i] == node {
+		e.Copyset = append(e.Copyset[:i], e.Copyset[i+1:]...)
 	}
 }
 
-// TakeCopyset empties the copyset and returns its former contents, sorted
-// for deterministic invalidation order.
+// TakeCopyset empties the copyset and returns its former contents, already
+// sorted (the insertion invariant) for deterministic invalidation order.
 func (e *Entry) TakeCopyset() []int {
 	cs := e.Copyset
 	e.Copyset = nil
-	sort.Ints(cs)
 	return cs
 }
 

@@ -173,33 +173,36 @@ type Factory func(d *DSM) Protocol
 type Registry struct {
 	names     []string
 	factories []Factory
+	index     map[string]ProtoID // name -> id, kept in sync with names
 }
 
 // NewRegistry returns an empty protocol registry.
-func NewRegistry() *Registry { return &Registry{} }
+func NewRegistry() *Registry { return &Registry{index: make(map[string]ProtoID)} }
 
 // Register adds a protocol under name and returns its id. Registering a
 // duplicate name panics: protocol identifiers are global constants in the
 // original API.
 func (r *Registry) Register(name string, f Factory) ProtoID {
-	for _, n := range r.names {
-		if n == name {
-			panic(fmt.Sprintf("core: protocol %q registered twice", name))
-		}
+	if r.index == nil {
+		r.index = make(map[string]ProtoID)
 	}
+	if _, dup := r.index[name]; dup {
+		panic(fmt.Sprintf("core: protocol %q registered twice", name))
+	}
+	id := ProtoID(len(r.names))
 	r.names = append(r.names, name)
 	r.factories = append(r.factories, f)
-	return ProtoID(len(r.names) - 1)
+	r.index[name] = id
+	return id
 }
 
 // Lookup returns the id registered under name.
 func (r *Registry) Lookup(name string) (ProtoID, bool) {
-	for i, n := range r.names {
-		if n == name {
-			return ProtoID(i), true
-		}
+	id, ok := r.index[name]
+	if !ok {
+		return -1, false
 	}
-	return -1, false
+	return id, true
 }
 
 // Name returns the name registered for id.

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"dsmpm2/internal/memory"
 	"dsmpm2/internal/pm2"
 	"dsmpm2/internal/sim"
@@ -156,7 +158,11 @@ func InstallPage(pm *PageMsg) {
 	e.ProbOwner = pm.Owner
 	if pm.Ownship {
 		e.Owner = true
+		// Restore the sorted copyset invariant: the wire slice is sorted
+		// when it comes from TakeCopyset, but custom protocols may have
+		// assembled it by hand.
 		e.Copyset = append([]int(nil), pm.Copyset...)
+		sort.Ints(e.Copyset)
 	}
 	e.Pending = false
 	e.Broadcast()

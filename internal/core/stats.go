@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"dsmpm2/internal/sim"
 )
@@ -61,6 +62,13 @@ type FaultTiming struct {
 	Start    sim.Time
 	Protocol string
 	Write    bool
+
+	// Link names the profile of the link that carried the page transfer
+	// (empty for faults resolved without a transfer, e.g. migration
+	// policies or local upgrades). Under a heterogeneous topology it
+	// attributes each fault to its link class, so reports can split
+	// intra- from inter-cluster costs.
+	Link string
 
 	Detect    sim.Duration // signal catch + parameter extraction (11us)
 	Request   sim.Duration // control message to the owner
@@ -134,6 +142,40 @@ func (l *TimingLog) Len() int { return len(l.recs) }
 
 // timings is the DSM-wide log instance.
 func (d *DSM) Timings() *TimingLog { return &d.timings }
+
+// LinkSummary aggregates the fault timings whose page transfer crossed one
+// link class.
+type LinkSummary struct {
+	Link      string
+	Count     int
+	MeanTotal sim.Duration
+}
+
+// ByLink groups the stored fault timings by the link that carried their page
+// transfer and returns one summary per link name, sorted by name. Faults
+// without a transfer link are grouped under "".
+func (l *TimingLog) ByLink() []LinkSummary {
+	totals := map[string]sim.Duration{}
+	counts := map[string]int{}
+	for _, ft := range l.All() {
+		totals[ft.Link] += ft.Total
+		counts[ft.Link]++
+	}
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]LinkSummary, 0, len(names))
+	for _, name := range names {
+		out = append(out, LinkSummary{
+			Link:      name,
+			Count:     counts[name],
+			MeanTotal: totals[name] / sim.Duration(counts[name]),
+		})
+	}
+	return out
+}
 
 // MeanTiming averages the stored fault timings matching the given protocol
 // name ("" matches all). It returns the mean record and the match count.

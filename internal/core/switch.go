@@ -55,7 +55,7 @@ func (d *DSM) SwitchProtocol(t *pm2.Thread, base Addr, size int, proto ProtoID) 
 			}
 			dst := d.state[pi.home].space.Ensure(pg)
 			copy(dst.Data, src.Data)
-			t.Advance(d.rt.Profile().Transfer(PageSize))
+			t.Advance(d.rt.Link(n, pi.home).Transfer(PageSize))
 			break
 		}
 		for n := 0; n < d.rt.Nodes(); n++ {
@@ -77,10 +77,12 @@ func (d *DSM) SwitchProtocol(t *pm2.Thread, base Addr, size int, proto ProtoID) 
 			init.InitPage(pg, pi.home)
 		}
 	}
-	// The distributed page table update: one round trip per remote node.
+	// The distributed page table update: one round trip per remote node,
+	// charged on the out and back links separately (they may differ under
+	// an asymmetric topology).
 	for n := 0; n < d.rt.Nodes(); n++ {
 		if n != t.Node() {
-			t.Advance(2 * d.rt.Profile().CtrlMsg)
+			t.Advance(d.rt.Link(t.Node(), n).CtrlMsg + d.rt.Link(n, t.Node()).CtrlMsg)
 		}
 	}
 	return nil

@@ -18,63 +18,134 @@ type Message struct {
 	SentAt  sim.Time
 }
 
-// Network connects n nodes with the timing behaviour of a Profile. Each node
-// owns one inbound queue per logical channel; Send schedules delivery events
-// on the sim engine, Recv blocks a simulated thread until a message arrives.
-//
-// The model charges the sender-to-receiver latency per message and,
-// optionally, serializes outbound messages through a per-node NIC resource to
-// model link occupancy (off by default; the paper's latencies are
-// single-message costs).
-type Network struct {
-	eng     *sim.Engine
-	profile *Profile
-	n       int
-	queues  []map[string]*sim.Chan
+// linkKey identifies one directed link of the topology.
+type linkKey struct {
+	from, to int
+}
 
-	// NIC occupancy model (off by default): when enabled, each node's
-	// outbound link transmits one message at a time; a message occupies
-	// the link for its payload's byte time, and later sends queue behind
-	// it. The paper's latencies are single-message costs, so the tables
-	// reproduce with the model off; applications that blast concurrent
-	// transfers can enable it to observe send-side contention.
+// LinkStats aggregates the contention observed on the network's links.
+type LinkStats struct {
+	// Waits counts messages that found their link busy and queued.
+	Waits int
+	// WaitTime is the total virtual time messages spent queued on busy
+	// links.
+	WaitTime sim.Duration
+}
+
+// Network connects n nodes with per-link timing resolved by a Topology. Each
+// node owns one inbound queue per logical channel; Send schedules delivery
+// events on the sim engine, Recv blocks a simulated thread until a message
+// arrives.
+//
+// The model charges the sender-to-receiver latency per message and offers two
+// optional occupancy models (both off by default; the paper's latencies are
+// single-message costs):
+//
+//   - the NIC model serializes each node's outbound port, so one sender
+//     blasting many destinations queues at its own interface;
+//   - the link model serializes each directed (src,dst) link, so concurrent
+//     page transfers crossing the same link queue FIFO instead of
+//     overlapping for free, while transfers on disjoint links still overlap.
+type Network struct {
+	eng    *sim.Engine
+	topo   Topology
+	n      int
+	queues []map[string]*sim.Chan
+
+	// NIC occupancy model: when enabled, each node's outbound port
+	// transmits one message at a time; a message occupies the port for its
+	// payload's byte time, and later sends queue behind it.
 	nicModel bool
-	nicFree  []sim.Time // per node: when the outbound link frees up
+	nicFree  []sim.Time // per node: when the outbound port frees up
+
+	// Link occupancy model: when enabled, each directed link carries one
+	// message at a time; a message occupies the link for its payload's
+	// byte time at that link's rate, and later sends on the same link
+	// queue FIFO behind it. The sender itself never blocks (PM2 sends are
+	// asynchronous, the queueing happens in the interface).
+	linkModel bool
+	linkFree  map[linkKey]sim.Time
+	linkStats LinkStats
 
 	// stats
 	msgs  int
 	bytes int64
 }
 
-// NewNetwork creates a network of n nodes using the given cost profile.
+// NewNetwork creates a uniform network of n nodes using the given cost
+// profile — the historical constructor, equivalent to NewNetworkTopology
+// with a Uniform topology.
 func NewNetwork(eng *sim.Engine, profile *Profile, n int) *Network {
+	return NewNetworkTopology(eng, NewUniform(profile), n)
+}
+
+// NewNetworkTopology creates a network of n nodes whose per-link costs are
+// resolved by topo. Topologies bound to a node count (Sizer) must match n.
+func NewNetworkTopology(eng *sim.Engine, topo Topology, n int) *Network {
 	if n < 1 {
 		panic("madeleine: network needs at least 1 node")
+	}
+	if topo == nil {
+		panic("madeleine: network needs a topology")
+	}
+	if s, ok := topo.(Sizer); ok && s.Nodes() != n {
+		panic(fmt.Sprintf("madeleine: topology %s is built for %d nodes, network has %d",
+			topo.Name(), s.Nodes(), n))
 	}
 	queues := make([]map[string]*sim.Chan, n)
 	for i := range queues {
 		queues[i] = make(map[string]*sim.Chan)
 	}
 	return &Network{
-		eng:     eng,
-		profile: profile,
-		n:       n,
-		queues:  queues,
-		nicFree: make([]sim.Time, n),
+		eng:      eng,
+		topo:     topo,
+		n:        n,
+		queues:   queues,
+		nicFree:  make([]sim.Time, n),
+		linkFree: make(map[linkKey]sim.Time),
 	}
 }
 
-// SetNICModel enables or disables per-node outbound link serialization.
+// SetNICModel enables or disables per-node outbound port serialization.
 func (nw *Network) SetNICModel(on bool) { nw.nicModel = on }
 
-// NICModel reports whether send-side contention is being modelled.
+// NICModel reports whether send-side port contention is being modelled.
 func (nw *Network) NICModel() bool { return nw.nicModel }
+
+// SetLinkContention enables or disables per-link bandwidth occupancy.
+func (nw *Network) SetLinkContention(on bool) { nw.linkModel = on }
+
+// LinkContention reports whether link occupancy is being modelled.
+func (nw *Network) LinkContention() bool { return nw.linkModel }
+
+// LinkStats reports the contention counters of the link model.
+func (nw *Network) LinkStats() LinkStats { return nw.linkStats }
 
 // Nodes reports the number of nodes in the network.
 func (nw *Network) Nodes() int { return nw.n }
 
-// Profile returns the cost profile in use.
-func (nw *Network) Profile() *Profile { return nw.profile }
+// Topology returns the topology resolving per-link costs.
+func (nw *Network) Topology() Topology { return nw.topo }
+
+// Profile returns the cost profile of a uniform network, or nil when the
+// topology is heterogeneous (callers needing per-pair costs use Link).
+func (nw *Network) Profile() *Profile { return UniformProfile(nw.topo) }
+
+// Link returns the profile governing messages from src to dst. A sender
+// outside the cluster (the driver, src < 0) is charged as dst-local;
+// anything else out of range is a caller bug and panics like dst does.
+func (nw *Network) Link(src, dst int) *Profile {
+	if dst < 0 || dst >= nw.n {
+		panic(fmt.Sprintf("madeleine: node %d out of range [0,%d)", dst, nw.n))
+	}
+	if src >= nw.n {
+		panic(fmt.Sprintf("madeleine: node %d out of range [0,%d)", src, nw.n))
+	}
+	if src < 0 {
+		src = dst
+	}
+	return nw.topo.Link(src, dst)
+}
 
 // Engine returns the sim engine the network schedules on.
 func (nw *Network) Engine() *sim.Engine { return nw.eng }
@@ -93,44 +164,62 @@ func (nw *Network) queue(node int, channel string) *sim.Chan {
 
 // SendAfter delivers msg to its destination after latency d. Sends to the
 // local node are delivered with the same latency: loopback communication in
-// PM2 still crosses the RPC machinery. With the NIC model enabled, the
-// message first waits for the sender's outbound link and occupies it for its
-// byte time; the sender itself never blocks (PM2 sends are asynchronous, the
-// queueing happens in the interface).
+// PM2 still crosses the RPC machinery. With an occupancy model enabled, the
+// message first waits for the sender's port and/or its link to free and
+// occupies them for its byte time; the sender itself never blocks (PM2 sends
+// are asynchronous, the queueing happens in the interface).
 func (nw *Network) SendAfter(msg *Message, d sim.Duration) {
 	msg.SentAt = nw.eng.Now()
 	nw.msgs++
 	nw.bytes += int64(msg.Size)
 	q := nw.queue(msg.To, msg.Channel)
 	depart := nw.eng.Now()
-	if nw.nicModel && msg.From >= 0 && msg.From < nw.n {
-		if nw.nicFree[msg.From] > depart {
+	if (nw.nicModel || nw.linkModel) && msg.From >= 0 && msg.From < nw.n {
+		// The message departs once every enabled resource is free, and
+		// occupies all of them for its transmit time — stamping either
+		// resource before the other has pushed depart would mark it free
+		// while the message is still on the wire.
+		tx := sim.Duration(float64(msg.Size) * nw.topo.Link(msg.From, msg.To).PerByte)
+		key := linkKey{msg.From, msg.To}
+		if nw.nicModel && nw.nicFree[msg.From] > depart {
 			depart = nw.nicFree[msg.From]
 		}
-		tx := sim.Duration(float64(msg.Size) * nw.profile.PerByte)
-		nw.nicFree[msg.From] = depart.Add(tx)
+		if nw.linkModel {
+			if free := nw.linkFree[key]; free > depart {
+				nw.linkStats.Waits++
+				nw.linkStats.WaitTime += free.Sub(depart)
+				depart = free
+			}
+		}
+		if nw.nicModel {
+			nw.nicFree[msg.From] = depart.Add(tx)
+		}
+		if nw.linkModel {
+			nw.linkFree[key] = depart.Add(tx)
+		}
 	}
 	arrive := depart.Add(d)
 	nw.eng.Schedule(arrive, func() { q.Push(msg) })
 }
 
 // SendCtrl sends a small control message (request, invalidation, ack),
-// charged at the profile's CtrlMsg latency.
+// charged at the link's CtrlMsg latency.
 func (nw *Network) SendCtrl(from, to int, channel string, payload interface{}) {
 	nw.SendAfter(&Message{From: from, To: to, Channel: channel, Size: 64, Payload: payload},
-		nw.profile.CtrlMsg)
+		nw.Link(from, to).CtrlMsg)
 }
 
 // SendBulk sends size payload bytes (for example a page or a diff list),
-// charged at the profile's Transfer(size) latency.
+// charged at the link's Transfer(size) latency.
 func (nw *Network) SendBulk(from, to int, channel string, size int, payload interface{}) {
 	nw.SendAfter(&Message{From: from, To: to, Channel: channel, Size: size, Payload: payload},
-		nw.profile.Transfer(size))
+		nw.Link(from, to).Transfer(size))
 }
 
 // SendDirect delivers payload into a caller-provided queue after latency d,
 // bypassing the per-node channel map. RPC replies use this: the caller owns
-// a private reply queue, so no channel naming is needed.
+// a private reply queue, so no channel naming is needed; the caller computes
+// d from the link it is answering over.
 func (nw *Network) SendDirect(q *sim.Chan, size int, payload interface{}, d sim.Duration) {
 	nw.msgs++
 	nw.bytes += int64(size)

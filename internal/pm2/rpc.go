@@ -60,13 +60,15 @@ func (n *Node) Register(name string, threaded bool, h Handler) {
 	dispatcher.Proc().MarkDaemon()
 }
 
-// run executes the handler and sends the reply if one is expected.
+// run executes the handler and sends the reply if one is expected, charged
+// on the link back to the caller.
 func (svc *service) run(t *Thread, req *rpcReq) {
 	res := svc.handler(t, req.arg)
 	if req.reply != nil {
-		d := svc.node.rt.Profile().RPCBase / 2
+		prof := svc.node.rt.Link(svc.node.ID, req.from)
+		d := prof.RPCBase / 2
 		if req.retSize > 64 {
-			d += svc.node.rt.Profile().Transfer(req.retSize) - svc.node.rt.Profile().XferBase
+			d += prof.Transfer(req.retSize) - prof.XferBase
 		}
 		svc.node.rt.net.SendDirect(req.reply, req.retSize, res, d)
 	}
@@ -80,9 +82,10 @@ func (t *Thread) Call(dest int, svcName string, arg interface{}, argSize, retSiz
 	rt := t.rt
 	reply := new(sim.Chan)
 	req := &rpcReq{arg: arg, reply: reply, retSize: retSize, from: t.node}
-	d := rt.Profile().RPCBase / 2
+	prof := rt.Link(t.node, dest)
+	d := prof.RPCBase / 2
 	if argSize > 64 {
-		d += rt.Profile().Transfer(argSize) - rt.Profile().XferBase
+		d += prof.Transfer(argSize) - prof.XferBase
 	}
 	rt.net.SendAfter(&madeleine.Message{
 		From:    t.node,

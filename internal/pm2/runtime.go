@@ -31,8 +31,20 @@ type Runtime struct {
 type Config struct {
 	Nodes       int
 	CPUsPerNode int // defaults to 1, as in the paper's PII nodes
-	Network     *madeleine.Profile
-	Seed        int64
+
+	// Network is the uniform-interconnect shorthand: every node pair uses
+	// this one profile (default BIPMyrinet). Topology, when set, takes
+	// precedence and resolves costs per (src,dst) link.
+	Network  *madeleine.Profile
+	Topology madeleine.Topology
+
+	// LinkContention enables FIFO bandwidth occupancy on each directed
+	// link: concurrent transfers crossing one link queue instead of
+	// overlapping for free. Off by default — the paper's calibrated
+	// latencies are single-message costs.
+	LinkContention bool
+
+	Seed int64
 }
 
 // NewRuntime builds a PM2 machine from cfg.
@@ -43,14 +55,20 @@ func NewRuntime(cfg Config) *Runtime {
 	if cfg.CPUsPerNode == 0 {
 		cfg.CPUsPerNode = 1
 	}
-	if cfg.Network == nil {
-		cfg.Network = madeleine.BIPMyrinet
+	topo := cfg.Topology
+	if topo == nil {
+		prof := cfg.Network
+		if prof == nil {
+			prof = madeleine.BIPMyrinet
+		}
+		topo = madeleine.NewUniform(prof)
 	}
 	eng := sim.NewEngine(cfg.Seed)
 	rt := &Runtime{
 		eng: eng,
-		net: madeleine.NewNetwork(eng, cfg.Network, cfg.Nodes),
+		net: madeleine.NewNetworkTopology(eng, topo, cfg.Nodes),
 	}
+	rt.net.SetLinkContention(cfg.LinkContention)
 	for i := 0; i < cfg.Nodes; i++ {
 		rt.nodes = append(rt.nodes, &Node{
 			rt:       rt,
@@ -68,8 +86,15 @@ func (rt *Runtime) Engine() *sim.Engine { return rt.eng }
 // Network returns the machine's interconnect.
 func (rt *Runtime) Network() *madeleine.Network { return rt.net }
 
-// Profile returns the interconnect cost profile.
+// Profile returns the uniform interconnect profile, or nil when the machine
+// runs over a heterogeneous topology (use Link for per-pair costs).
 func (rt *Runtime) Profile() *madeleine.Profile { return rt.net.Profile() }
+
+// Topology returns the interconnect topology.
+func (rt *Runtime) Topology() madeleine.Topology { return rt.net.Topology() }
+
+// Link returns the cost profile governing messages from src to dst.
+func (rt *Runtime) Link(src, dst int) *madeleine.Profile { return rt.net.Link(src, dst) }
 
 // Nodes reports the number of nodes.
 func (rt *Runtime) Nodes() int { return len(rt.nodes) }

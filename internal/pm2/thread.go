@@ -144,17 +144,17 @@ func (t *Thread) TLS(key string) interface{} {
 	return t.tls[key]
 }
 
-// MigrateTo moves the thread to node dest, charging the migration latency
-// for its stack plus descriptor, as the PM2 migration mechanism does. The
-// iso-address guarantee means the thread resumes with all its pointers
-// valid. Migrating to the current node is a no-op.
+// MigrateTo moves the thread to node dest, charging the migration latency of
+// the src->dest link for its stack plus descriptor, as the PM2 migration
+// mechanism does. The iso-address guarantee means the thread resumes with
+// all its pointers valid. Migrating to the current node is a no-op.
 func (t *Thread) MigrateTo(dest int) {
 	if dest == t.node {
 		return
 	}
 	t.rt.Node(dest) // validate
 	src := t.node
-	cost := t.rt.Profile().Migration(t.stackSize + DescriptorBytes)
+	cost := t.rt.Link(src, dest).Migration(t.stackSize + DescriptorBytes)
 	t.proc.Advance(cost)
 	t.node = dest
 	t.migrations++

@@ -1,0 +1,166 @@
+package dsmpm2_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dsmpm2"
+	"dsmpm2/internal/bench"
+)
+
+// runIncrementWorkload drives a small but communication-heavy workload (the
+// quickstart counter: every node increments a shared word under a DSM lock)
+// and returns its final virtual time and DSM stats.
+func runIncrementWorkload(t *testing.T, cfg dsmpm2.Config) (dsmpm2.Time, dsmpm2.Stats) {
+	t.Helper()
+	cfg.Protocol = "li_hudak"
+	sys := dsmpm2.MustNew(cfg)
+	x := sys.MustMalloc(0, 8, nil)
+	lock := sys.NewLock(0)
+	for n := 0; n < sys.Nodes(); n++ {
+		sys.Spawn(n, fmt.Sprintf("worker%d", n), func(th *dsmpm2.Thread) {
+			for i := 0; i < 5; i++ {
+				th.Acquire(lock)
+				th.WriteUint64(x, th.ReadUint64(x)+1)
+				th.Release(lock)
+			}
+		})
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return sys.Now(), sys.Stats()
+}
+
+// TestUniformTopologyBitForBit: wrapping a profile in a Uniform topology
+// must reproduce the historical single-profile configuration exactly — same
+// virtual end time, same activity counters.
+func TestUniformTopologyBitForBit(t *testing.T) {
+	for _, prof := range dsmpm2.Networks {
+		base := dsmpm2.Config{Nodes: 4, Network: prof, Seed: 7}
+		wrapped := dsmpm2.Config{Nodes: 4, Topology: dsmpm2.UniformTopology(prof), Seed: 7}
+		wantTime, wantStats := runIncrementWorkload(t, base)
+		gotTime, gotStats := runIncrementWorkload(t, wrapped)
+		if gotTime != wantTime {
+			t.Errorf("%s: uniform topology time %v != profile time %v", prof.Name, gotTime, wantTime)
+		}
+		if gotStats != wantStats {
+			t.Errorf("%s: uniform topology stats %+v != profile stats %+v", prof.Name, gotStats, wantStats)
+		}
+	}
+}
+
+// TestHierarchicalFaultCostsDiverge: under a two-cluster topology, faults
+// crossing the backbone must cost measurably more than intra-cluster ones,
+// and both classes must be attributed to the right link profile.
+func TestHierarchicalFaultCostsDiverge(t *testing.T) {
+	faults := bench.HierReadFaults(6, 2, dsmpm2.SISCISCI, dsmpm2.TCPFastEthernet, "li_hudak")
+	if len(faults) != 2 {
+		t.Fatalf("expected 2 link classes, have %+v", faults)
+	}
+	byLink := map[string]bench.LinkFault{}
+	for _, f := range faults {
+		byLink[f.Link] = f
+	}
+	intra, ok := byLink[dsmpm2.SISCISCI.Name]
+	if !ok || intra.Count != 2 {
+		t.Fatalf("intra class missing or miscounted: %+v", faults)
+	}
+	inter, ok := byLink[dsmpm2.TCPFastEthernet.Name]
+	if !ok || inter.Count != 3 {
+		t.Fatalf("inter class missing or miscounted: %+v", faults)
+	}
+	if inter.MeanTotalUS < 2*intra.MeanTotalUS {
+		t.Errorf("inter-cluster fault (%.0fus) not measurably above intra (%.0fus)",
+			inter.MeanTotalUS, intra.MeanTotalUS)
+	}
+	// Sanity: the intra-cluster fault matches the paper's uniform SCI cost
+	// (Table 3 total: 194us, allow rounding slack), because inside one
+	// cluster nothing changed.
+	if intra.MeanTotalUS < 185 || intra.MeanTotalUS > 215 {
+		t.Errorf("intra-cluster fault = %.0fus, want the Table 3 SCI ballpark (~194-207us)", intra.MeanTotalUS)
+	}
+}
+
+// TestLinkMatrixAsymmetricMigration: an asymmetric matrix charges migration
+// by direction — moving a thread over the degraded link costs more than
+// moving it back.
+func TestLinkMatrixAsymmetricMigration(t *testing.T) {
+	topo := dsmpm2.LinkMatrixTopology(dsmpm2.BIPMyrinet).
+		SetLink(0, 1, dsmpm2.TCPFastEthernet) // uplink degraded, downlink fast
+	sys := dsmpm2.MustNew(dsmpm2.Config{Nodes: 2, Topology: topo})
+	var out, back dsmpm2.Duration
+	sys.Spawn(0, "wanderer", func(th *dsmpm2.Thread) {
+		start := th.Now()
+		th.MigrateTo(1)
+		out = th.Now().Sub(start)
+		start = th.Now()
+		th.MigrateTo(0)
+		back = th.Now().Sub(start)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if out <= back {
+		t.Errorf("degraded-uplink migration (%v) not slower than the fast return (%v)", out, back)
+	}
+}
+
+// TestContentionQueuesSaturatedLink is the end-to-end contention acceptance:
+// concurrent page transfers over one link serialize in virtual time, with
+// observable queueing delay, while the same workload with the model off
+// overlaps for free.
+func TestContentionQueuesSaturatedLink(t *testing.T) {
+	res := bench.Contention(dsmpm2.BIPMyrinet, 6)
+	if res.MeanFaultOnUS <= res.MeanFaultOffUS {
+		t.Errorf("contended mean fault (%.0fus) not above uncontended (%.0fus)",
+			res.MeanFaultOnUS, res.MeanFaultOffUS)
+	}
+	if res.Waits == 0 || res.WaitTimeUS <= 0 {
+		t.Errorf("saturated link produced no queueing: %+v", res)
+	}
+}
+
+// TestTopologySizeMismatchRejected: a topology built for N nodes cannot be
+// attached to a machine of a different size.
+func TestTopologySizeMismatchRejected(t *testing.T) {
+	topo := dsmpm2.HierarchicalTopology(dsmpm2.EvenClusters(4, 2), dsmpm2.SISCISCI, dsmpm2.TCPFastEthernet)
+	_, err := dsmpm2.New(dsmpm2.Config{Nodes: 6, Topology: topo})
+	if err == nil || !strings.Contains(err.Error(), "built for 4 nodes") {
+		t.Fatalf("mismatched topology not rejected: %v", err)
+	}
+}
+
+// TestTopologyImpliesNodeCount: a size-bound topology fills in Config.Nodes
+// when the caller leaves it zero.
+func TestTopologyImpliesNodeCount(t *testing.T) {
+	topo := dsmpm2.HierarchicalTopology(dsmpm2.EvenClusters(6, 2), dsmpm2.SISCISCI, dsmpm2.TCPFastEthernet)
+	sys, err := dsmpm2.New(dsmpm2.Config{Topology: topo})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Nodes() != 6 {
+		t.Fatalf("Nodes() = %d, want 6 inferred from the topology", sys.Nodes())
+	}
+}
+
+// TestSystemTopologyAccessors: the facade exposes the topology and per-link
+// profiles.
+func TestSystemTopologyAccessors(t *testing.T) {
+	topo := dsmpm2.HierarchicalTopology(dsmpm2.EvenClusters(4, 2), dsmpm2.SISCISCI, dsmpm2.TCPFastEthernet)
+	sys := dsmpm2.MustNew(dsmpm2.Config{Nodes: 4, Topology: topo})
+	if sys.Network() != nil {
+		t.Error("heterogeneous system must not report a uniform profile")
+	}
+	if sys.Topology() != topo {
+		t.Error("Topology accessor lost the configured topology")
+	}
+	if sys.Link(0, 1) != dsmpm2.SISCISCI || sys.Link(0, 2) != dsmpm2.TCPFastEthernet {
+		t.Error("per-link lookup resolved the wrong profiles")
+	}
+	uni := dsmpm2.MustNew(dsmpm2.Config{Nodes: 2, Network: dsmpm2.BIPMyrinet})
+	if uni.Network() != dsmpm2.BIPMyrinet {
+		t.Error("uniform system must still report its profile")
+	}
+}
