@@ -142,6 +142,46 @@ func BenchmarkFigure5MapColoring(b *testing.B) {
 	}
 }
 
+// BenchmarkKernelEventStorm measures the simulator's own wall-clock
+// throughput (events per host second) on the scheduling-path storm: procs
+// in a ring alternating virtual-time steps with token passes. This is the
+// simulator-efficiency benchmark behind BENCH_kernel.json, distinct from
+// the virtual-latency benchmarks above.
+func BenchmarkKernelEventStorm(b *testing.B) {
+	var r bench.KernelResult
+	for i := 0; i < b.N; i++ {
+		r = bench.EventStorm(64, 500)
+	}
+	b.ReportAllocs()
+	b.ReportMetric(r.EventsPerSec, "events/sec")
+	b.ReportMetric(r.AllocsPerEvent, "allocs/event")
+}
+
+// BenchmarkKernelApps measures the wall-clock cost of the cluster-scale
+// application scenarios of the kernel suite (one iteration each; use
+// dsmbench -exp kernel for the full comparison table).
+func BenchmarkKernelApps(b *testing.B) {
+	scenarios := []struct {
+		name string
+		run  func() bench.KernelResult
+	}{
+		{"jacobi16", func() bench.KernelResult { return bench.JacobiStorm(16, 32, 2) }},
+		{"matmul16", func() bench.KernelResult { return bench.MatmulStorm(16, 16) }},
+		{"tsp16", func() bench.KernelResult { return bench.TSPStorm(16, 9) }},
+	}
+	for _, sc := range scenarios {
+		run := sc.run
+		b.Run(sc.name, func(b *testing.B) {
+			var r bench.KernelResult
+			for i := 0; i < b.N; i++ {
+				r = run()
+			}
+			b.ReportMetric(r.EventsPerSec, "events/sec")
+			b.ReportMetric(r.AllocsPerEvent, "allocs/event")
+		})
+	}
+}
+
 // BenchmarkAblationJacobi compares sequential vs release consistency on the
 // barrier-phased stencil, the ablation DESIGN.md calls out for the hbrc_mw
 // twin/diff design.

@@ -12,19 +12,30 @@
 //	dsmbench -exp protocols    # the built-in protocol registry (Table 2)
 //	dsmbench -exp multicluster # hierarchical topology: intra vs inter faults
 //	dsmbench -exp contention   # link bandwidth occupancy: queueing delay
+//	dsmbench -exp kernel       # simulator wall-clock efficiency (events/sec)
 //
 // The multicluster experiment goes beyond the paper's uniform clusters: a
 // hierarchical topology with a fast intra-cluster profile and a slow
 // inter-cluster backbone, e.g.
 //
 //	dsmbench -topology hier -clusters 2 -intra SISCI/SCI -inter TCP/Ethernet
+//
+// The kernel experiment measures the simulator itself (not the simulated
+// cluster): wall-clock events/sec, allocations per event and peak heap,
+// against the committed pre-overhaul baseline. With -json it writes the
+// BENCH_kernel.json snapshot that tracks the perf trajectory; with
+// -cpuprofile/-memprofile it captures pprof profiles of any experiment so a
+// hot-path regression can be diagnosed without editing code.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"dsmpm2"
 	"dsmpm2/internal/apps/mapcolor"
@@ -33,8 +44,15 @@ import (
 	"dsmpm2/internal/madeleine"
 )
 
+// main delegates to realMain so error paths unwind through the deferred
+// profile writers (log.Fatalf would os.Exit past pprof.StopCPUProfile and
+// leave a truncated CPU profile).
 func main() {
-	exp := flag.String("exp", "all", "experiment: all,rpc,migration,table3,table4,fig4,fig5,protocols,multicluster,contention")
+	os.Exit(realMain())
+}
+
+func realMain() (code int) {
+	exp := flag.String("exp", "all", "experiment: all,rpc,migration,table3,table4,fig4,fig5,protocols,multicluster,contention, or kernel (wall-clock heavy, excluded from all)")
 	cities := flag.Int("cities", 11, "TSP cities for fig4 (paper: 14)")
 	topology := flag.String("topology", "hier", "multicluster topology: hier")
 	nodes := flag.Int("nodes", 8, "cluster size for multicluster")
@@ -42,7 +60,43 @@ func main() {
 	intra := flag.String("intra", "SISCI/SCI", "intra-cluster profile for -topology hier")
 	inter := flag.String("inter", "TCP/Fast Ethernet", "inter-cluster profile for -topology hier")
 	readers := flag.Int("readers", 8, "concurrent transfers for the contention experiment")
+	jsonOut := flag.Bool("json", false, "write BENCH_kernel.json (kernel experiment)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatalf("-cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Printf("-memprofile: %v", err)
+			if code == 0 {
+				code = 1
+			}
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Printf("-memprofile: %v", err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
 	any := false
@@ -86,10 +140,18 @@ func main() {
 		any = true
 		contention(*readers)
 	}
+	if *exp == "kernel" { // wall-clock heavy: explicit opt-in, not part of "all"
+		any = true
+		if err := kernel(*jsonOut); err != nil {
+			log.Printf("kernel: %v", err)
+			return 1
+		}
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }
 
 func header(title string) {
@@ -304,6 +366,64 @@ func multicluster(topology string, nodes, clusters int, intraName, interName str
 	}
 	fmt.Println("(same protocol stack, only the link profiles differ — the paper's")
 	fmt.Println(" portability claim extended to heterogeneous clusters)")
+}
+
+// benchKernelFile is the perf-trajectory snapshot the kernel experiment
+// writes with -json.
+const benchKernelFile = "BENCH_kernel.json"
+
+// kernelSnapshot is the BENCH_kernel.json document: the committed baseline
+// (pre-overhaul kernel) next to the numbers measured by this run.
+type kernelSnapshot struct {
+	Experiment string `json:"experiment"`
+	// Baseline is the pre-overhaul kernel (container/heap, boxed events,
+	// double switch per wake, unpooled pages/messages).
+	Baseline []bench.KernelResult `json:"baseline"`
+	// Current is this binary, measured now on this machine.
+	Current []bench.KernelResult `json:"current"`
+}
+
+// kernel measures the simulator's own wall-clock efficiency and compares it
+// against the committed pre-overhaul baseline.
+func kernel(writeJSON bool) error {
+	header("Kernel: simulator wall-clock efficiency (baseline = pre-overhaul kernel)")
+	base := bench.KernelBaseline()
+	baseByName := map[string]bench.KernelResult{}
+	for _, r := range base {
+		baseByName[r.Name] = r
+	}
+	cur := bench.KernelSuite()
+	fmt.Printf("%-36s %14s %14s %8s %14s %14s\n",
+		"scenario", "base ev/s", "now ev/s", "speedup", "base allocs/ev", "now allocs/ev")
+	for _, r := range cur {
+		b, ok := baseByName[r.Name]
+		if !ok {
+			fmt.Printf("%-36s %14s %14.0f %8s %14s %14.4f\n",
+				r.Name, "-", r.EventsPerSec, "-", "-", r.AllocsPerEvent)
+			continue
+		}
+		fmt.Printf("%-36s %14.0f %14.0f %7.2fx %14.4f %14.4f\n",
+			r.Name, b.EventsPerSec, r.EventsPerSec, r.EventsPerSec/b.EventsPerSec,
+			b.AllocsPerEvent, r.AllocsPerEvent)
+	}
+	fmt.Println("(events/sec is wall-clock; virtual timings are identical across kernels,")
+	fmt.Println(" see the golden-trace test. Baseline numbers are fixed in internal/bench.)")
+	if !writeJSON {
+		return nil
+	}
+	snap := kernelSnapshot{Experiment: "kernel", Baseline: base, Current: cur}
+	f, err := os.Create(benchKernelFile)
+	if err != nil {
+		return fmt.Errorf("-json: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&snap); err != nil {
+		return fmt.Errorf("-json: %w", err)
+	}
+	fmt.Printf("wrote %s\n", benchKernelFile)
+	return nil
 }
 
 // contention shows the link occupancy model: concurrent page transfers over

@@ -40,6 +40,7 @@ type Result struct {
 	Checksum float64
 	Elapsed  dsmpm2.Time
 	Stats    dsmpm2.Stats
+	System   *dsmpm2.System
 }
 
 // boundary returns the fixed boundary value for grid edge cells.
@@ -182,7 +183,7 @@ func Run(cfg Config) (Result, error) {
 
 	// Collect the checksum from node 0, reading through the DSM.
 	final := cfg.Iterations % 2
-	res := Result{Elapsed: sys.Now(), Stats: sys.Stats()}
+	res := Result{Elapsed: sys.Now(), Stats: sys.Stats(), System: sys}
 	sys.Spawn(0, "checksum", func(t *dsmpm2.Thread) {
 		sum := 0.0
 		for row := 1; row <= n; row++ {

@@ -34,6 +34,7 @@ type Result struct {
 	Checksum float64
 	Elapsed  dsmpm2.Time
 	Stats    dsmpm2.Stats
+	System   *dsmpm2.System
 }
 
 // Matrices builds the deterministic random input matrices for a seed.
@@ -136,7 +137,7 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	res := Result{Elapsed: sys.Now(), Stats: sys.Stats()}
+	res := Result{Elapsed: sys.Now(), Stats: sys.Stats(), System: sys}
 	sys.Spawn(0, "checksum", func(t *dsmpm2.Thread) {
 		sum := 0.0
 		for i := 0; i < n; i++ {

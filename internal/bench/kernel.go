@@ -1,0 +1,246 @@
+package bench
+
+// Wall-clock benchmarks of the simulator itself (the "kernel" experiment).
+// Unlike the rest of this package, which reproduces the paper's *virtual*
+// latencies, these scenarios measure how fast and how allocation-lean the
+// simulation kernel runs on the host: events per wall-clock second, heap
+// churn per event, and peak heap footprint. They feed the BENCH_kernel.json
+// perf trajectory and the root BenchmarkKernel* entries.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime"
+	"time"
+
+	"dsmpm2"
+	"dsmpm2/internal/apps/jacobi"
+	"dsmpm2/internal/apps/matmul"
+	"dsmpm2/internal/apps/tsp"
+	"dsmpm2/internal/sim"
+)
+
+// KernelResult is one wall-clock measurement of the simulation kernel.
+type KernelResult struct {
+	Name string `json:"name"`
+	// Events is the number of simulation events the engine fired.
+	Events uint64 `json:"events"`
+	// WallMS is the host time the scenario took, in milliseconds.
+	WallMS float64 `json:"wall_ms"`
+	// EventsPerSec is the kernel's throughput: Events / wall seconds.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Allocs and AllocBytes are the heap allocations (count and bytes)
+	// performed during the scenario; AllocsPerEvent normalizes.
+	Allocs         uint64  `json:"allocs"`
+	AllocBytes     uint64  `json:"alloc_bytes"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// PeakHeapBytes is the largest HeapInuse observed during the scenario
+	// (sampled every few milliseconds, after a scenario-entry GC), i.e. a
+	// per-scenario peak rather than a process-cumulative footprint.
+	PeakHeapBytes uint64 `json:"peak_heap_bytes"`
+	// VirtualMS is the simulated time covered, for scale context.
+	VirtualMS float64 `json:"virtual_ms"`
+	// Threads is the number of simulated threads the scenario created.
+	Threads int `json:"threads"`
+}
+
+// measure runs one scenario under MemStats bracketing and a wall clock. A
+// sampler goroutine tracks the scenario's peak HeapInuse; the 5 ms interval
+// keeps the stop-the-world cost of ReadMemStats negligible next to the
+// scenarios' 10-500 ms runtimes.
+func measure(name string, run func() (events uint64, virtualMS float64, threads int)) KernelResult {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var peak uint64
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				runtime.ReadMemStats(&ms)
+				if ms.HeapInuse > peak {
+					peak = ms.HeapInuse
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	events, virtualMS, threads := run()
+	wall := time.Since(start)
+	close(stop)
+	<-done
+	runtime.ReadMemStats(&after)
+	if after.HeapInuse > peak {
+		peak = after.HeapInuse
+	}
+	r := KernelResult{
+		Name:          name,
+		Events:        events,
+		WallMS:        float64(wall.Nanoseconds()) / 1e6,
+		Allocs:        after.Mallocs - before.Mallocs,
+		AllocBytes:    after.TotalAlloc - before.TotalAlloc,
+		PeakHeapBytes: peak,
+		VirtualMS:     virtualMS,
+		Threads:       threads,
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		r.EventsPerSec = float64(events) / secs
+	}
+	if events > 0 {
+		r.AllocsPerEvent = float64(r.Allocs) / float64(events)
+	}
+	return r
+}
+
+// EventStorm hammers the kernel's dominant scheduling path with no DSM or
+// network on top: procs simulated threads in a ring, each alternating a
+// virtual-time step (Advance) with a token pass to its neighbour (Chan.Push /
+// Chan.Recv). Because the ring is pre-seeded with tokens, receivers rarely
+// park, so the event count is ~procs*hops timer wakes (plus spawn wakes and
+// the occasional unpark when a receiver does outrun its sender) — the
+// scenario isolates exactly the Schedule/wake path the kernel overhaul
+// targets.
+func EventStorm(procs, hops int) KernelResult {
+	name := fmt.Sprintf("event-storm/procs=%d,hops=%d", procs, hops)
+	return measure(name, func() (uint64, float64, int) {
+		eng := sim.NewEngine(1)
+		chans := make([]*sim.Chan, procs)
+		for i := range chans {
+			chans[i] = new(sim.Chan)
+			chans[i].Push(-1) // seed token so the ring flows
+		}
+		for i := 0; i < procs; i++ {
+			i := i
+			eng.Go(fmt.Sprintf("storm%d", i), func(p *sim.Proc) {
+				next := chans[(i+1)%procs]
+				for h := 0; h < hops; h++ {
+					chans[i].Recv(p)
+					p.Advance(sim.Microsecond)
+					next.Push(i)
+				}
+			})
+		}
+		if err := eng.Run(); err != nil {
+			panic(err)
+		}
+		return eng.Events(), float64(eng.Now()) / 1e6, procs
+	})
+}
+
+// JacobiStorm runs the barrier-phased stencil at cluster scale and measures
+// the simulator's wall-clock cost: nodes application threads plus the RPC
+// dispatcher/handler threads the DSM spawns under them.
+func JacobiStorm(nodes, n, iterations int) KernelResult {
+	name := fmt.Sprintf("jacobi/nodes=%d,n=%d,iters=%d", nodes, n, iterations)
+	return measure(name, func() (uint64, float64, int) {
+		res, err := jacobi.Run(jacobi.Config{
+			N: n, Iterations: iterations, Nodes: nodes,
+			Network: dsmpm2.BIPMyrinet, Protocol: "hbrc_mw", Seed: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rt := res.System.Runtime()
+		return rt.Engine().Events(), float64(res.Elapsed) / 1e6, rt.ThreadCount()
+	})
+}
+
+// MatmulStorm runs the read-replication matrix multiply at cluster scale.
+func MatmulStorm(nodes, n int) KernelResult {
+	name := fmt.Sprintf("matmul/nodes=%d,n=%d", nodes, n)
+	return measure(name, func() (uint64, float64, int) {
+		res, err := matmul.Run(matmul.Config{
+			N: n, Nodes: nodes,
+			Network: dsmpm2.BIPMyrinet, Protocol: "li_hudak", Seed: 3,
+		})
+		if err != nil {
+			panic(err)
+		}
+		rt := res.System.Runtime()
+		return rt.Engine().Events(), float64(res.Elapsed) / 1e6, rt.ThreadCount()
+	})
+}
+
+// TSPStorm runs the branch-and-bound search at cluster scale.
+func TSPStorm(nodes, cities int) KernelResult {
+	name := fmt.Sprintf("tsp/nodes=%d,cities=%d", nodes, cities)
+	return measure(name, func() (uint64, float64, int) {
+		res, err := tsp.Run(tsp.Config{
+			Cities: cities, Seed: 42, Nodes: nodes,
+			Network: dsmpm2.BIPMyrinet, Protocol: "li_hudak",
+		})
+		if err != nil {
+			panic(err)
+		}
+		rt := res.System.Runtime()
+		return rt.Engine().Events(), float64(res.Elapsed) / 1e6, rt.ThreadCount()
+	})
+}
+
+// KernelSuite runs the standard kernel scenarios for BENCH_kernel.json: the
+// event-storm microbench plus the three applications at 16-64 nodes.
+func KernelSuite() []KernelResult {
+	return []KernelResult{
+		EventStorm(256, 2000),
+		JacobiStorm(32, 64, 3),
+		JacobiStorm(64, 64, 2),
+		MatmulStorm(16, 24),
+		TSPStorm(16, 10),
+	}
+}
+
+// KernelBaseline returns the kernel suite measured on the pre-overhaul
+// kernel (container/heap of *event with interface{} boxing, double
+// goroutine switch per wake, unpooled pages/messages), captured with this
+// same harness (including the peak-heap sampler) by running the final
+// measurement code against the pre-overhaul tree on the same machine the
+// current numbers were taken on. It is the "before" half of
+// BENCH_kernel.json; regenerate it only when the measurement scenarios
+// themselves change.
+func KernelBaseline() []KernelResult {
+	return []KernelResult{
+		{Name: "event-storm/procs=256,hops=2000", Events: 514255, WallMS: 488.53, EventsPerSec: 1052667,
+			Allocs: 1544851, AllocBytes: 33138176, AllocsPerEvent: 3.0041, PeakHeapBytes: 4218880,
+			VirtualMS: 2, Threads: 256},
+		{Name: "jacobi/nodes=32,n=64,iters=3", Events: 3023, WallMS: 11.20, EventsPerSec: 269907,
+			Allocs: 22910, AllocBytes: 4262648, AllocsPerEvent: 7.5786, PeakHeapBytes: 4177920,
+			VirtualMS: 1.2092, Threads: 671},
+		{Name: "jacobi/nodes=64,n=64,iters=2", Events: 4587, WallMS: 19.99, EventsPerSec: 229491,
+			Allocs: 37163, AllocBytes: 5986776, AllocsPerEvent: 8.1018, PeakHeapBytes: 7061504,
+			VirtualMS: 0.9348, Threads: 1215},
+		{Name: "matmul/nodes=16,n=24", Events: 3838, WallMS: 10.53, EventsPerSec: 364620,
+			Allocs: 24607, AllocBytes: 4729088, AllocsPerEvent: 6.4114, PeakHeapBytes: 10821632,
+			VirtualMS: 5.32852, Threads: 582},
+		{Name: "tsp/nodes=16,cities=10", Events: 61333, WallMS: 59.74, EventsPerSec: 1026613,
+			Allocs: 158321, AllocBytes: 5858648, AllocsPerEvent: 2.5813, PeakHeapBytes: 14770176,
+			VirtualMS: 46.448, Threads: 1755},
+	}
+}
+
+// TraceFingerprint hashes every recorded fault timing of a finished system,
+// plus the final virtual clock, into a hex digest. Two runs of the same
+// workload under the same seed must produce identical fingerprints; the
+// golden-trace test pins a digest captured before the kernel rewrite to prove
+// the rewrite preserved virtual-time behaviour bit for bit.
+func TraceFingerprint(sys *dsmpm2.System) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "now=%d\n", sys.Now())
+	for _, ft := range sys.Timings().All() {
+		fmt.Fprintf(h, "%s|%v|%s|%d|%d|%d|%d|%d|%d|%d|%d|%d\n",
+			ft.Protocol, ft.Write, ft.Link, ft.Start,
+			ft.Detect, ft.Request, ft.Server, ft.Transfer, ft.Install,
+			ft.Migration, ft.Overhead, ft.Total)
+	}
+	st := sys.Stats()
+	fmt.Fprintf(h, "stats=%+v\n", st)
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -131,7 +131,7 @@ func (d *DSM) registerServices() {
 			}
 			d.protoFor(m.page).InvalidateServer(iv)
 			if m.ack != nil {
-				d.rt.Network().SendDirect(m.ack, ctrlBytes, nil, d.rt.Link(h.Node(), m.from).CtrlMsg)
+				d.rt.Network().SendDirect(h.Node(), m.from, m.ack, ctrlBytes, nil, d.rt.Link(h.Node(), m.from).CtrlMsg)
 			}
 			return nil
 		})
@@ -153,7 +153,7 @@ func (d *DSM) registerServices() {
 				})
 			}
 			if m.reply != nil {
-				d.rt.Network().SendDirect(m.reply, ctrlBytes, nil, d.rt.Link(h.Node(), m.from).CtrlMsg)
+				d.rt.Network().SendDirect(h.Node(), m.from, m.reply, ctrlBytes, nil, d.rt.Link(h.Node(), m.from).CtrlMsg)
 			}
 			return nil
 		})

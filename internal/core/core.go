@@ -65,11 +65,14 @@ func DefaultCosts() Costs {
 }
 
 // nodeState is the per-node half of the DSM: this node's view of the shared
-// address space and its slice of the distributed page table.
+// address space and its slice of the distributed page table. pages mirrors
+// the table's keys in sorted order, maintained incrementally at entry
+// creation so release-time sweeps never rebuild and re-sort it.
 type nodeState struct {
 	node  int
 	space *memory.Space
 	table map[Page]*Entry
+	pages []Page
 }
 
 // DSM is a DSM-PM2 instance spanning all nodes of a PM2 machine.
@@ -77,6 +80,11 @@ type DSM struct {
 	rt    *pm2.Runtime
 	alloc *isomalloc.Allocator
 	costs Costs
+
+	// bufs recycles page-sized buffers: wire copies of page transfers and
+	// the twins of multiple-writer protocols. Faults stop costing a 4 KiB
+	// allocation each once the pool warms up.
+	bufs *memory.BufPool
 
 	state []*nodeState
 
@@ -112,6 +120,7 @@ func New(rt *pm2.Runtime, reg *Registry, costs Costs) *DSM {
 		rt:        rt,
 		alloc:     isomalloc.New(rt.Nodes(), PageSize),
 		costs:     costs,
+		bufs:      memory.NewBufPool(PageSize),
 		registry:  reg,
 		instances: make(map[ProtoID]Protocol),
 		allocInfo: make(map[Page]pageInfo),

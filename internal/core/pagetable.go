@@ -83,6 +83,12 @@ func (d *DSM) Entry(node int, pg Page) *Entry {
 	}
 	e := newEntry(pg, pi)
 	ns.table[pg] = e
+	// Keep the sorted page list in step (binary insert): PagesOn sweeps
+	// run every release, entry creation happens once per (node, page).
+	i := sort.Search(len(ns.pages), func(i int) bool { return ns.pages[i] >= pg })
+	ns.pages = append(ns.pages, 0)
+	copy(ns.pages[i+1:], ns.pages[i:])
+	ns.pages[i] = pg
 	return e
 }
 
@@ -137,12 +143,9 @@ func (e *Entry) TakeCopyset() []int {
 
 // PagesOn returns the pages node currently has table entries for, sorted.
 // Protocol release hooks use it to sweep per-node state deterministically.
+// The list is maintained incrementally at entry creation, so this is a copy,
+// not a rebuild-and-sort; the copy keeps the sweep safe against entries the
+// sweep itself creates.
 func (d *DSM) PagesOn(node int) []Page {
-	ns := d.state[node]
-	out := make([]Page, 0, len(ns.table))
-	for pg := range ns.table {
-		out = append(out, pg)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return append([]Page(nil), d.state[node].pages...)
 }

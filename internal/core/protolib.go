@@ -110,7 +110,8 @@ func SendPage(r *Request, e *Entry, dest int, access memory.Access, ownship bool
 	if frame == nil {
 		panic("core: SendPage on a node without a copy")
 	}
-	data := make([]byte, len(frame.Data))
+	// The wire copy is pooled; InstallPage returns it once installed.
+	data := d.bufs.Get()
 	copy(data, frame.Data)
 	owner := r.Node
 	if ownship {
@@ -146,6 +147,8 @@ func InstallPage(pm *PageMsg) {
 		// Drop it and let the faulting threads refault and refetch.
 		// Ownership transfers are exempt: the previous owner serialized
 		// the granting write after any invalidation it sent us.
+		d.bufs.Put(pm.Data)
+		pm.Data = nil
 		e.Pending = false
 		e.Broadcast()
 		e.Unlock(t)
@@ -154,6 +157,8 @@ func InstallPage(pm *PageMsg) {
 	space := d.state[pm.Node].space
 	frame := space.Ensure(pm.Page)
 	copy(frame.Data, pm.Data)
+	d.bufs.Put(pm.Data) // wire copy was pooled by SendPage; recycle it
+	pm.Data = nil
 	frame.Access = pm.Access
 	e.ProbOwner = pm.Owner
 	if pm.Ownship {
@@ -244,7 +249,7 @@ func EnsureTwin(d *DSM, node int, e *Entry) {
 		if frame == nil {
 			panic("core: EnsureTwin without a local copy")
 		}
-		td.twin = memory.MakeTwin(frame.Data)
+		td.twin = d.bufs.MakeTwin(frame.Data)
 	}
 }
 
@@ -264,10 +269,12 @@ func TwinDiff(d *DSM, node int, e *Entry) *memory.Diff {
 	}
 	frame := d.state[node].space.Frame(e.Page)
 	if frame == nil {
+		d.bufs.Put(td.twin)
 		td.twin = nil
 		return nil
 	}
 	diff := memory.ComputeDiff(e.Page, td.twin, frame.Data, d.costs.DiffGap)
+	d.bufs.Put(td.twin) // twin came from the pool; recycle it
 	td.twin = nil
 	if diff.Empty() {
 		return nil

@@ -3,16 +3,29 @@ package madeleine
 import (
 	"fmt"
 
+	"dsmpm2/internal/freelist"
 	"dsmpm2/internal/sim"
 )
+
+// ChanID is the dense index of an interned logical channel name. Interning
+// happens once per distinct name (ChannelID); after that every queue access
+// is a slice index instead of a per-message map-of-strings lookup. ID 0 is
+// reserved as "unset" so a zero Message resolves its Channel string lazily.
+type ChanID int
 
 // Message is a unit of communication between nodes. Payload is an arbitrary
 // Go value (the simulation does not serialize); Size is the number of bytes
 // the value would occupy on the wire and drives the timing model.
+//
+// Messages sent through the send helpers come from (and return to) the
+// network's freelist: receivers that are done with a message may hand it
+// back with FreeMessage, and at steady state the message flow allocates
+// nothing.
 type Message struct {
 	From    int
 	To      int
-	Channel string // logical channel (service) name
+	Channel string // logical channel (service) name (diagnostics)
+	Chan    ChanID // interned channel; 0 = resolve Channel on send
 	Size    int
 	Payload interface{}
 	SentAt  sim.Time
@@ -47,10 +60,19 @@ type LinkStats struct {
 //     page transfers crossing the same link queue FIFO instead of
 //     overlapping for free, while transfers on disjoint links still overlap.
 type Network struct {
-	eng    *sim.Engine
-	topo   Topology
-	n      int
-	queues []map[string]*sim.Chan
+	eng  *sim.Engine
+	topo Topology
+	n    int
+
+	// Channel interning: names map to dense ChanIDs once, and the per-node
+	// queues are indexed [node][id] — the per-message map lookup the
+	// string-keyed design paid is gone from the send/receive hot path.
+	chanIDs   map[string]ChanID
+	chanNames []string
+	queues    [][]*sim.Chan
+
+	// msgFree recycles Message structs (see Message).
+	msgFree freelist.List[*Message]
 
 	// NIC occupancy model: when enabled, each node's outbound port
 	// transmits one message at a time; a message occupies the port for its
@@ -92,18 +114,55 @@ func NewNetworkTopology(eng *sim.Engine, topo Topology, n int) *Network {
 		panic(fmt.Sprintf("madeleine: topology %s is built for %d nodes, network has %d",
 			topo.Name(), s.Nodes(), n))
 	}
-	queues := make([]map[string]*sim.Chan, n)
-	for i := range queues {
-		queues[i] = make(map[string]*sim.Chan)
-	}
 	return &Network{
-		eng:      eng,
-		topo:     topo,
-		n:        n,
-		queues:   queues,
-		nicFree:  make([]sim.Time, n),
-		linkFree: make(map[linkKey]sim.Time),
+		eng:       eng,
+		topo:      topo,
+		n:         n,
+		chanIDs:   make(map[string]ChanID),
+		chanNames: []string{""}, // ChanID 0 reserved as "unset"
+		queues:    make([][]*sim.Chan, n),
+		nicFree:   make([]sim.Time, n),
+		linkFree:  make(map[linkKey]sim.Time),
 	}
+}
+
+// ChannelID interns a logical channel name and returns its dense id. The
+// same name always yields the same id; senders and receivers that cache the
+// id skip the name lookup entirely.
+func (nw *Network) ChannelID(name string) ChanID {
+	if id, ok := nw.chanIDs[name]; ok {
+		return id
+	}
+	id := ChanID(len(nw.chanNames))
+	nw.chanNames = append(nw.chanNames, name)
+	nw.chanIDs[name] = id
+	return id
+}
+
+// ChannelName returns the name interned for id ("" for the unset id).
+func (nw *Network) ChannelName(id ChanID) string {
+	if id <= 0 || int(id) >= len(nw.chanNames) {
+		return ""
+	}
+	return nw.chanNames[id]
+}
+
+// getMsg takes a Message from the freelist (or allocates one).
+func (nw *Network) getMsg() *Message {
+	if m, ok := nw.msgFree.Get(); ok {
+		return m
+	}
+	return new(Message)
+}
+
+// FreeMessage returns a received message to the freelist. Callers must not
+// touch the message afterwards; keeping the payload is fine.
+func (nw *Network) FreeMessage(m *Message) {
+	if m == nil {
+		return
+	}
+	*m = Message{}
+	nw.msgFree.Put(m)
 }
 
 // SetNICModel enables or disables per-node outbound port serialization.
@@ -150,14 +209,24 @@ func (nw *Network) Link(src, dst int) *Profile {
 // Engine returns the sim engine the network schedules on.
 func (nw *Network) Engine() *sim.Engine { return nw.eng }
 
-func (nw *Network) queue(node int, channel string) *sim.Chan {
+func (nw *Network) queue(node int, ch ChanID) *sim.Chan {
 	if node < 0 || node >= nw.n {
 		panic(fmt.Sprintf("madeleine: node %d out of range [0,%d)", node, nw.n))
 	}
-	q := nw.queues[node][channel]
+	if ch <= 0 || int(ch) >= len(nw.chanNames) {
+		panic(fmt.Sprintf("madeleine: channel id %d not interned", ch))
+	}
+	qs := nw.queues[node]
+	if int(ch) >= len(qs) {
+		grown := make([]*sim.Chan, len(nw.chanNames))
+		copy(grown, qs)
+		qs = grown
+		nw.queues[node] = qs
+	}
+	q := qs[ch]
 	if q == nil {
 		q = new(sim.Chan)
-		nw.queues[node][channel] = q
+		qs[ch] = q
 	}
 	return q
 }
@@ -172,17 +241,28 @@ func (nw *Network) SendAfter(msg *Message, d sim.Duration) {
 	msg.SentAt = nw.eng.Now()
 	nw.msgs++
 	nw.bytes += int64(msg.Size)
-	q := nw.queue(msg.To, msg.Channel)
+	if msg.Chan == 0 {
+		msg.Chan = nw.ChannelID(msg.Channel)
+	}
+	q := nw.queue(msg.To, msg.Chan)
+	depart := nw.departure(msg.From, msg.To, msg.Size)
+	nw.eng.SchedulePush(depart.Add(d), q, msg)
+}
+
+// departure resolves when a message of size bytes from from to to leaves the
+// sending interface, advancing the NIC/link occupancy clocks when those
+// models are enabled. The message departs once every enabled resource is
+// free, and occupies all of them for its transmit time — stamping either
+// resource before the other has pushed depart would mark it free while the
+// message is still on the wire. The sender itself never blocks (PM2 sends
+// are asynchronous, the queueing happens in the interface).
+func (nw *Network) departure(from, to, size int) sim.Time {
 	depart := nw.eng.Now()
-	if (nw.nicModel || nw.linkModel) && msg.From >= 0 && msg.From < nw.n {
-		// The message departs once every enabled resource is free, and
-		// occupies all of them for its transmit time — stamping either
-		// resource before the other has pushed depart would mark it free
-		// while the message is still on the wire.
-		tx := sim.Duration(float64(msg.Size) * nw.topo.Link(msg.From, msg.To).PerByte)
-		key := linkKey{msg.From, msg.To}
-		if nw.nicModel && nw.nicFree[msg.From] > depart {
-			depart = nw.nicFree[msg.From]
+	if (nw.nicModel || nw.linkModel) && from >= 0 && from < nw.n {
+		tx := sim.Duration(float64(size) * nw.topo.Link(from, to).PerByte)
+		key := linkKey{from, to}
+		if nw.nicModel && nw.nicFree[from] > depart {
+			depart = nw.nicFree[from]
 		}
 		if nw.linkModel {
 			if free := nw.linkFree[key]; free > depart {
@@ -192,48 +272,75 @@ func (nw *Network) SendAfter(msg *Message, d sim.Duration) {
 			}
 		}
 		if nw.nicModel {
-			nw.nicFree[msg.From] = depart.Add(tx)
+			nw.nicFree[from] = depart.Add(tx)
 		}
 		if nw.linkModel {
 			nw.linkFree[key] = depart.Add(tx)
 		}
 	}
-	arrive := depart.Add(d)
-	nw.eng.Schedule(arrive, func() { q.Push(msg) })
+	return depart
 }
 
 // SendCtrl sends a small control message (request, invalidation, ack),
 // charged at the link's CtrlMsg latency.
 func (nw *Network) SendCtrl(from, to int, channel string, payload interface{}) {
-	nw.SendAfter(&Message{From: from, To: to, Channel: channel, Size: 64, Payload: payload},
-		nw.Link(from, to).CtrlMsg)
+	nw.SendCtrlID(from, to, nw.ChannelID(channel), payload)
+}
+
+// SendCtrlID is SendCtrl for a pre-interned channel.
+func (nw *Network) SendCtrlID(from, to int, ch ChanID, payload interface{}) {
+	m := nw.getMsg()
+	*m = Message{From: from, To: to, Channel: nw.ChannelName(ch), Chan: ch, Size: 64, Payload: payload}
+	nw.SendAfter(m, nw.Link(from, to).CtrlMsg)
+}
+
+// SendID sends a pooled message on a pre-interned channel with an explicit
+// latency (the RPC layer computes half-round-trip costs itself).
+func (nw *Network) SendID(from, to int, ch ChanID, size int, payload interface{}, d sim.Duration) {
+	m := nw.getMsg()
+	*m = Message{From: from, To: to, Channel: nw.ChannelName(ch), Chan: ch, Size: size, Payload: payload}
+	nw.SendAfter(m, d)
 }
 
 // SendBulk sends size payload bytes (for example a page or a diff list),
 // charged at the link's Transfer(size) latency.
 func (nw *Network) SendBulk(from, to int, channel string, size int, payload interface{}) {
-	nw.SendAfter(&Message{From: from, To: to, Channel: channel, Size: size, Payload: payload},
-		nw.Link(from, to).Transfer(size))
+	nw.SendBulkID(from, to, nw.ChannelID(channel), size, payload)
+}
+
+// SendBulkID is SendBulk for a pre-interned channel.
+func (nw *Network) SendBulkID(from, to int, ch ChanID, size int, payload interface{}) {
+	m := nw.getMsg()
+	*m = Message{From: from, To: to, Channel: nw.ChannelName(ch), Chan: ch, Size: size, Payload: payload}
+	nw.SendAfter(m, nw.Link(from, to).Transfer(size))
 }
 
 // SendDirect delivers payload into a caller-provided queue after latency d,
-// bypassing the per-node channel map. RPC replies use this: the caller owns
-// a private reply queue, so no channel naming is needed; the caller computes
-// d from the link it is answering over.
-func (nw *Network) SendDirect(q *sim.Chan, size int, payload interface{}, d sim.Duration) {
+// bypassing the per-node channel tables. RPC replies use this: the caller
+// owns a private reply queue, so no channel naming is needed; the caller
+// computes d from the link it is answering over. Replies are subject to the
+// same NIC/link occupancy models as named-channel traffic — a reply crossing
+// a saturated link queues exactly like the request did.
+func (nw *Network) SendDirect(from, to int, q *sim.Chan, size int, payload interface{}, d sim.Duration) {
 	nw.msgs++
 	nw.bytes += int64(size)
-	nw.eng.After(d, func() { q.Push(payload) })
+	depart := nw.departure(from, to, size)
+	nw.eng.SchedulePush(depart.Add(d), q, payload)
 }
 
 // Recv blocks the calling proc until a message arrives for node on channel.
 func (nw *Network) Recv(p *sim.Proc, node int, channel string) *Message {
-	return nw.queue(node, channel).Recv(p).(*Message)
+	return nw.RecvID(p, node, nw.ChannelID(channel))
+}
+
+// RecvID is Recv for a pre-interned channel.
+func (nw *Network) RecvID(p *sim.Proc, node int, ch ChanID) *Message {
+	return nw.queue(node, ch).Recv(p).(*Message)
 }
 
 // TryRecv returns a pending message for node on channel without blocking.
 func (nw *Network) TryRecv(node int, channel string) (*Message, bool) {
-	v, ok := nw.queue(node, channel).TryRecv()
+	v, ok := nw.queue(node, nw.ChannelID(channel)).TryRecv()
 	if !ok {
 		return nil, false
 	}

@@ -41,40 +41,71 @@ func MakeTwin(data []byte) []byte {
 	return twin
 }
 
-// ComputeDiff compares cur against twin and returns the modified ranges.
-// Adjacent modified bytes coalesce into a single entry, with runs of up to
-// gap unmodified bytes absorbed to reduce entry overhead (gap 0 yields exact
-// diffs; the DSM layer uses a small gap like 8 to mimic word-granularity
-// diffing).
+// nextDirtyRange scans for the next modified range starting at or after i:
+// adjacent modified bytes coalesce, with runs of up to gap unmodified bytes
+// absorbed to reduce entry overhead. It returns the range [start, last] and
+// ok=false when the rest of the page is clean. Both ComputeDiff passes use
+// this one scanner, so they segment the page identically by construction.
+func nextDirtyRange(twin, cur []byte, i, gap int) (start, last int, ok bool) {
+	for i < len(cur) && twin[i] == cur[i] {
+		i++
+	}
+	if i == len(cur) {
+		return 0, 0, false
+	}
+	start = i
+	last = i
+	i++
+	for i < len(cur) {
+		if twin[i] != cur[i] {
+			last = i
+			i++
+			continue
+		}
+		// Look ahead: absorb short clean runs.
+		if i-last <= gap {
+			i++
+			continue
+		}
+		break
+	}
+	return start, last, true
+}
+
+// ComputeDiff compares cur against twin and returns the modified ranges
+// (gap 0 yields exact diffs; the DSM layer uses a small gap like 8 to mimic
+// word-granularity diffing). It scans twice: the first pass sizes the diff,
+// the second fills exactly one entries slice and one shared backing buffer,
+// so a diff costs three allocations regardless of how fragmented the page's
+// modifications are.
 func ComputeDiff(pg Page, twin, cur []byte, gap int) *Diff {
 	if len(twin) != len(cur) {
 		panic("memory: twin/page length mismatch")
 	}
-	d := &Diff{Page: pg}
-	i := 0
-	for i < len(cur) {
-		if twin[i] == cur[i] {
-			i++
-			continue
-		}
-		start := i
-		last := i // last differing byte seen
-		i++
-		for i < len(cur) {
-			if twin[i] != cur[i] {
-				last = i
-				i++
-				continue
-			}
-			// Look ahead: absorb short clean runs.
-			if i-last <= gap {
-				i++
-				continue
-			}
+	nEntries, nBytes := 0, 0
+	for i := 0; ; {
+		start, last, ok := nextDirtyRange(twin, cur, i, gap)
+		if !ok {
 			break
 		}
-		entry := DiffEntry{Off: start, Data: append([]byte(nil), cur[start:last+1]...)}
-		d.Entries = append(d.Entries, entry)
+		nEntries++
+		nBytes += last - start + 1
+		i = last + 1
+	}
+	d := &Diff{Page: pg}
+	if nEntries == 0 {
+		return d
+	}
+	d.Entries = make([]DiffEntry, 0, nEntries)
+	backing := make([]byte, 0, nBytes)
+	for i := 0; ; {
+		start, last, ok := nextDirtyRange(twin, cur, i, gap)
+		if !ok {
+			break
+		}
+		from := len(backing)
+		backing = append(backing, cur[start:last+1]...)
+		d.Entries = append(d.Entries, DiffEntry{Off: start, Data: backing[from:len(backing):len(backing)]})
 		i = last + 1
 	}
 	return d

@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"dsmpm2/internal/freelist"
 	"dsmpm2/internal/isomalloc"
 )
 
@@ -83,9 +84,17 @@ type Frame struct {
 
 // Space is one node's view of the shared address space: the set of page
 // frames it currently holds. A page with no frame behaves as NoAccess.
+//
+// Dropped frames are recycled through a freelist: invalidation-heavy
+// protocols drop and refetch pages constantly, and reusing the frame (and
+// its page buffer) keeps that cycle allocation-free. Callers must not
+// retain a *Frame or its Data across Drop — the sequential simulation makes
+// this natural, since protocol code only touches frames inside one critical
+// section.
 type Space struct {
 	pageSize int
 	frames   map[Page]*Frame
+	free     freelist.List[*Frame]
 }
 
 // NewSpace creates an empty address space view with the given page size.
@@ -113,15 +122,28 @@ func (s *Space) Frame(pg Page) *Frame { return s.frames[pg] }
 func (s *Space) Ensure(pg Page) *Frame {
 	f := s.frames[pg]
 	if f == nil {
-		f = &Frame{Data: make([]byte, s.pageSize)}
+		if recycled, ok := s.free.Get(); ok {
+			f = recycled
+			for i := range f.Data {
+				f.Data[i] = 0
+			}
+			f.Access = NoAccess
+		} else {
+			f = &Frame{Data: make([]byte, s.pageSize)}
+		}
 		s.frames[pg] = f
 	}
 	return f
 }
 
 // Drop discards the local frame for pg (used when a protocol invalidates and
-// reclaims a copy).
-func (s *Space) Drop(pg Page) { delete(s.frames, pg) }
+// reclaims a copy). The frame is recycled; see the Space doc comment.
+func (s *Space) Drop(pg Page) {
+	if f := s.frames[pg]; f != nil {
+		delete(s.frames, pg)
+		s.free.Put(f)
+	}
+}
 
 // SetAccess sets the access right on pg, creating the frame if needed.
 func (s *Space) SetAccess(pg Page, a Access) { s.Ensure(pg).Access = a }

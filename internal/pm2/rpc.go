@@ -15,12 +15,15 @@ type Handler func(h *Thread, arg interface{}) interface{}
 // service is a registered RPC service on one node.
 type service struct {
 	name     string
+	chanID   madeleine.ChanID
 	handler  Handler
 	threaded bool
 	node     *Node
 }
 
-// rpcReq is the wire payload of an invocation.
+// rpcReq is the wire payload of an invocation. Requests are pooled on the
+// Runtime: the service releases one after running its handler, so at steady
+// state the RPC machinery allocates no request envelopes.
 type rpcReq struct {
 	arg     interface{}
 	reply   *sim.Chan // nil for one-way invocations
@@ -28,8 +31,34 @@ type rpcReq struct {
 	from    int
 }
 
+// getReq takes a request envelope from the freelist (or allocates one).
+func (rt *Runtime) getReq() *rpcReq {
+	if r, ok := rt.reqFree.Get(); ok {
+		return r
+	}
+	return new(rpcReq)
+}
+
+// putReq returns a request envelope to the freelist.
+func (rt *Runtime) putReq(r *rpcReq) {
+	*r = rpcReq{}
+	rt.reqFree.Put(r)
+}
+
 // svcChannel names the madeleine channel carrying requests for a service.
 func svcChannel(name string) string { return "rpc:" + name }
+
+// svcChanID resolves (and caches) the interned channel id for a service
+// name, so per-message sends neither concatenate strings nor consult the
+// network's name table.
+func (rt *Runtime) svcChanID(name string) madeleine.ChanID {
+	if id, ok := rt.svcIDs[name]; ok {
+		return id
+	}
+	id := rt.net.ChannelID(svcChannel(name))
+	rt.svcIDs[name] = id
+	return id
+}
 
 // Register installs an RPC service on the node. If threaded is true, each
 // invocation is handled by a freshly created thread, so invocations proceed
@@ -40,13 +69,20 @@ func (n *Node) Register(name string, threaded bool, h Handler) {
 	if _, dup := n.services[name]; dup {
 		panic(fmt.Sprintf("pm2: service %q registered twice on node %d", name, n.ID))
 	}
-	svc := &service{name: name, handler: h, threaded: threaded, node: n}
+	svc := &service{
+		name:     name,
+		chanID:   n.rt.svcChanID(name),
+		handler:  h,
+		threaded: threaded,
+		node:     n,
+	}
 	n.services[name] = svc
 
 	dispatcher := n.rt.CreateThread(n.ID, fmt.Sprintf("rpcd:%s@%d", name, n.ID), func(t *Thread) {
 		for {
-			msg := n.rt.net.Recv(t.proc, n.ID, svcChannel(name))
+			msg := n.rt.net.RecvID(t.proc, n.ID, svc.chanID)
 			req := msg.Payload.(*rpcReq)
+			n.rt.net.FreeMessage(msg)
 			if svc.threaded {
 				n.HandlersSpawned++
 				n.rt.CreateThread(n.ID, fmt.Sprintf("rpch:%s@%d", name, n.ID), func(ht *Thread) {
@@ -70,8 +106,9 @@ func (svc *service) run(t *Thread, req *rpcReq) {
 		if req.retSize > 64 {
 			d += prof.Transfer(req.retSize) - prof.XferBase
 		}
-		svc.node.rt.net.SendDirect(req.reply, req.retSize, res, d)
+		svc.node.rt.net.SendDirect(svc.node.ID, req.from, req.reply, req.retSize, res, d)
 	}
+	svc.node.rt.putReq(req)
 }
 
 // Call synchronously invokes service on node dest with the given argument,
@@ -80,20 +117,18 @@ func (svc *service) run(t *Thread, req *rpcReq) {
 // plus handler execution time, matching the Section 2.1 micro-measurements.
 func (t *Thread) Call(dest int, svcName string, arg interface{}, argSize, retSize int) interface{} {
 	rt := t.rt
-	reply := new(sim.Chan)
-	req := &rpcReq{arg: arg, reply: reply, retSize: retSize, from: t.node}
+	if t.reply == nil {
+		t.reply = new(sim.Chan)
+	}
+	reply := t.reply
+	req := rt.getReq()
+	*req = rpcReq{arg: arg, reply: reply, retSize: retSize, from: t.node}
 	prof := rt.Link(t.node, dest)
 	d := prof.RPCBase / 2
 	if argSize > 64 {
 		d += prof.Transfer(argSize) - prof.XferBase
 	}
-	rt.net.SendAfter(&madeleine.Message{
-		From:    t.node,
-		To:      dest,
-		Channel: svcChannel(svcName),
-		Size:    argSize,
-		Payload: req,
-	}, d)
+	rt.net.SendID(t.node, dest, rt.svcChanID(svcName), argSize, req, d)
 	return reply.Recv(t.proc)
 }
 
@@ -108,10 +143,12 @@ func (t *Thread) Async(dest int, svcName string, arg interface{}, size int) {
 // AsyncFrom is Async with an explicit source node; the DSM layer uses it
 // when a server thread answers on behalf of its node.
 func (rt *Runtime) AsyncFrom(from, dest int, svcName string, arg interface{}, size int) {
-	req := &rpcReq{arg: arg}
+	req := rt.getReq()
+	req.arg = arg
+	ch := rt.svcChanID(svcName)
 	if size > 64 {
-		rt.net.SendBulk(from, dest, svcChannel(svcName), size, req)
+		rt.net.SendBulkID(from, dest, ch, size, req)
 	} else {
-		rt.net.SendCtrl(from, dest, svcChannel(svcName), req)
+		rt.net.SendCtrlID(from, dest, ch, req)
 	}
 }

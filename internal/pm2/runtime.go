@@ -8,6 +8,7 @@ package pm2
 import (
 	"fmt"
 
+	"dsmpm2/internal/freelist"
 	"dsmpm2/internal/madeleine"
 	"dsmpm2/internal/sim"
 )
@@ -25,6 +26,13 @@ type Runtime struct {
 
 	nextThread int
 	threads    []*Thread
+
+	// svcIDs caches service name -> interned request-channel id, so
+	// per-message sends skip both the "rpc:" concatenation and the
+	// network's name table.
+	svcIDs map[string]madeleine.ChanID
+	// reqFree recycles rpcReq envelopes (see rpcReq).
+	reqFree freelist.List[*rpcReq]
 }
 
 // Config describes a PM2 machine.
@@ -65,8 +73,9 @@ func NewRuntime(cfg Config) *Runtime {
 	}
 	eng := sim.NewEngine(cfg.Seed)
 	rt := &Runtime{
-		eng: eng,
-		net: madeleine.NewNetworkTopology(eng, topo, cfg.Nodes),
+		eng:    eng,
+		net:    madeleine.NewNetworkTopology(eng, topo, cfg.Nodes),
+		svcIDs: make(map[string]madeleine.ChanID),
 	}
 	rt.net.SetLinkContention(cfg.LinkContention)
 	for i := 0; i < cfg.Nodes; i++ {
@@ -98,6 +107,10 @@ func (rt *Runtime) Link(src, dst int) *madeleine.Profile { return rt.net.Link(sr
 
 // Nodes reports the number of nodes.
 func (rt *Runtime) Nodes() int { return len(rt.nodes) }
+
+// ThreadCount reports the total number of threads created on this machine,
+// including RPC dispatcher and handler threads.
+func (rt *Runtime) ThreadCount() int { return len(rt.threads) }
 
 // Node returns node i.
 func (rt *Runtime) Node(i int) *Node {

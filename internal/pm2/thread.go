@@ -28,6 +28,11 @@ type Thread struct {
 	// tls carries thread-local values (Marcel thread keys).
 	tls map[string]interface{}
 
+	// reply is the thread's reusable RPC reply queue. A thread has at
+	// most one synchronous Call outstanding (Call blocks until the single
+	// reply is consumed), so one channel serves its whole lifetime.
+	reply *sim.Chan
+
 	migrations int
 	done       bool
 	joiners    []*sim.Proc

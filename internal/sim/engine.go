@@ -1,56 +1,80 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
+
+	"dsmpm2/internal/freelist"
 )
 
-// event is a scheduled callback. Events with equal times fire in scheduling
-// order (seq breaks ties), which is what makes the simulation deterministic.
+// event is one scheduled occurrence, ordered by (time, seq): events with
+// equal times fire in scheduling order, which is what makes the simulation
+// deterministic. Events are value-typed and live inline in the engine's
+// queue; the discriminant is which reference field is set:
+//
+//   - proc != nil: a wake record — resume that proc. This is the dominant
+//     kind (Advance, Unpark, Spawn, every synchronization wakeup) and
+//     scheduling one performs no heap allocation.
+//   - ch != nil: a push record — deliver payload into a Chan (simulated
+//     message arrivals). Also allocation-free to schedule; payload is
+//     usually a pointer, which boxes without allocating.
+//   - otherwise: a general closure event (rare: drivers, tests, custom
+//     hooks). The closure capture is the only allocation, paid by the
+//     caller when it builds the func literal.
 type event struct {
-	t   Time
-	seq uint64
-	fn  func()
+	t       Time
+	seq     uint64
+	proc    *Proc
+	ch      *Chan
+	payload interface{}
+	fn      func()
 }
 
-// eventHeap is a min-heap ordered by (time, seq).
-type eventHeap []*event
+// bucket is a FIFO ring of events sharing one fire time. seq increases
+// monotonically across Schedule calls, so arrival order within a bucket IS
+// (time, seq) order — dequeuing the ring head is exact, with no per-event
+// sifting. Buckets are pooled on a freelist and their rings recycle, so a
+// steady-state simulation allocates nothing to queue events.
+type bucket struct {
+	t Time
+	fifo[event]
+}
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+// freeT marks a bucket as sitting on the freelist: no live event time can
+// match it (times are clamped to >= Now >= 0), so a stale cache hit on a
+// freed bucket is impossible.
+const freeT = Time(-1)
 
 // Engine is a sequential discrete-event simulation kernel. It owns the
 // virtual clock and the event queue, and multiplexes any number of Procs
 // (simulated threads) one at a time.
 //
+// The event queue is a two-level calendar: a 4-ary min-heap of time buckets
+// (one per distinct fire time, ordered by time alone) over FIFO rings of
+// value-typed events. Discrete-event workloads burst heavily at identical
+// times — every control message costs the same latency, every compute slice
+// the same quantum — so the common enqueue/dequeue hits the ring in O(1)
+// and only a new distinct time pays a (pointer-sized) heap sift. No
+// per-event heap object, no interface boxing, no container/heap indirect
+// calls, and (time, seq) pop order is bit-for-bit that of a flat heap.
+//
 // The zero value is not usable; create engines with NewEngine.
 type Engine struct {
-	now   Time
-	seq   uint64
-	queue eventHeap
+	now     Time
+	seq     uint64
+	queue   []*bucket              // min-heap by t; one bucket per distinct time
+	times   map[Time]*bucket       // live buckets by fire time
+	nqueued int                    // events across all buckets
+	last    *bucket                // most recently pushed-to bucket (cache)
+	free    freelist.List[*bucket] // bucket freelist
 
-	cur    *Proc         // proc currently holding the simulation token
-	park   chan struct{} // procs signal here when they yield back
-	nextID int
-	nlive  int // procs spawned and not yet finished
+	cur     *Proc         // proc currently holding the simulation token
+	park    chan struct{} // procs signal here when they yield back
+	nextID  int
+	nlive   int    // procs spawned and not yet finished
+	nevents uint64 // events fired since creation
 
 	rng *rand.Rand
 
@@ -66,6 +90,7 @@ func NewEngine(seed int64) *Engine {
 		park:   make(chan struct{}),
 		rng:    rand.New(rand.NewSource(seed)),
 		parked: make(map[*Proc]string),
+		times:  make(map[Time]*bucket),
 	}
 }
 
@@ -76,14 +101,130 @@ func (e *Engine) Now() Time { return e.now }
 // used from simulation context (engine callbacks or running procs).
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
+// push appends ev, firing at time t, to that time's bucket, creating (and
+// heap-inserting) the bucket on first use. The single-entry bucket cache
+// makes the dominant case — many events scheduled for the same time — a
+// pure ring append.
+func (e *Engine) push(ev event) {
+	t := ev.t
+	e.nqueued++
+	b := e.last
+	if b == nil || b.t != t {
+		b = e.times[t]
+		if b == nil {
+			var ok bool
+			if b, ok = e.free.Get(); !ok {
+				b = new(bucket)
+			}
+			b.t = t
+			e.times[t] = b
+			e.heapPush(b)
+		}
+		e.last = b
+	}
+	b.push(ev)
+}
+
+// pop removes and returns the globally minimum event by (time, seq).
+func (e *Engine) pop() event {
+	b := e.queue[0]
+	ev := b.pop()
+	e.nqueued--
+	if b.len() == 0 {
+		e.heapPopRoot()
+		delete(e.times, b.t)
+		b.t = freeT
+		if e.last == b {
+			e.last = nil
+		}
+		e.free.Put(b)
+	}
+	return ev
+}
+
+// heapPush inserts b into the 4-ary min-heap of buckets (sift-up).
+func (e *Engine) heapPush(b *bucket) {
+	e.queue = append(e.queue, b)
+	q := e.queue
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if q[p].t <= b.t {
+			break
+		}
+		q[i] = q[p]
+		i = p
+	}
+	q[i] = b
+}
+
+// heapPopRoot removes the minimum bucket (sift-down with a hole).
+func (e *Engine) heapPopRoot() {
+	q := e.queue
+	n := len(q) - 1
+	last := q[n]
+	q[n] = nil
+	e.queue = q[:n]
+	if n == 0 {
+		return
+	}
+	q = e.queue
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		m := c
+		for j := c + 1; j < end; j++ {
+			if q[j].t < q[m].t {
+				m = j
+			}
+		}
+		if q[m].t >= last.t {
+			break
+		}
+		q[i] = q[m]
+		i = m
+	}
+	q[i] = last
+}
+
 // Schedule runs fn at time t (>= Now). fn executes in engine context and
-// must not block; to run simulated-thread code use Spawn or Unpark.
+// must not block; to run simulated-thread code use Spawn or Unpark. This is
+// the general closure path; the kernel's own hot paths use the typed wake
+// and push records instead.
 func (e *Engine) Schedule(t Time, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{t: t, seq: e.seq, fn: fn})
+	e.push(event{t: t, seq: e.seq, fn: fn})
+}
+
+// scheduleWake schedules a typed wake record for p at time t (>= Now)
+// without allocating.
+func (e *Engine) scheduleWake(t Time, p *Proc) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.push(event{t: t, seq: e.seq, proc: p})
+}
+
+// SchedulePush delivers payload into ch at time t (>= Now): the typed,
+// allocation-free form of Schedule(t, func() { ch.Push(payload) }) that the
+// network layer uses for every message arrival.
+func (e *Engine) SchedulePush(t Time, ch *Chan, payload interface{}) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	e.push(event{t: t, seq: e.seq, ch: ch, payload: payload})
 }
 
 // After runs fn d from now, in engine context.
@@ -106,16 +247,20 @@ func (d *DeadlockError) Error() string {
 // blocked with no pending events. Run must be called from the goroutine that
 // owns the engine (typically the test or main goroutine), and only once at a
 // time.
+//
+// The event loop is token-passing: whichever goroutine holds the simulation
+// token (initially the Run caller) pops and dispatches events via drive.
+// Closure and push events execute inline in the driving goroutine; a wake
+// event transfers the token directly to the woken proc, and when that proc
+// later yields, *it* becomes the driver and dispatches the next event. One
+// goroutine switch per wake instead of the bounce through a central
+// scheduler goroutine — at simulation scale the context switches are the
+// kernel's largest remaining cost, and this halves them.
 func (e *Engine) Run() error {
-	for e.queue.Len() > 0 && !e.stopped {
-		ev := heap.Pop(&e.queue).(*event)
-		e.now = ev.t
-		ev.fn()
-		if e.queue.Len() == 0 && e.nlive > 0 && e.onIdle != nil {
-			if !e.onIdle() {
-				break
-			}
-		}
+	if e.drive(nil) == driveHanded {
+		// The token was handed to a proc; wait until the driver that
+		// drains the queue passes it back.
+		<-e.park
 	}
 	if e.nlive > 0 && !e.stopped {
 		blocked := make([]string, 0, len(e.parked))
@@ -131,6 +276,66 @@ func (e *Engine) Run() error {
 	return nil
 }
 
+// driveResult reports how a drive call gave up the token.
+type driveResult int
+
+const (
+	// driveDrained: the queue emptied (or Stop was called) with the
+	// calling goroutine still holding the token. A proc caller must pass
+	// the token back to Run by signalling park.
+	driveDrained driveResult = iota
+	// driveHanded: the token was sent to another proc's wake channel. The
+	// caller must not touch engine state afterwards — the new driver may
+	// already be running.
+	driveHanded
+	// driveSelf: the next event was the calling proc's own wake record, so
+	// the caller keeps the token and simply continues running. This makes
+	// an uncontended Advance cost zero goroutine switches.
+	driveSelf
+)
+
+// drive pops and dispatches events until the token leaves the calling
+// goroutine or the queue drains. It runs on whichever goroutine currently
+// holds the simulation token, with e.cur == nil (engine context) so that
+// dispatched closures observe the same environment as under a central loop.
+// self is the calling proc (nil when Run drives), needed to short-circuit
+// the proc's own wake record instead of deadlocking on its wake channel.
+func (e *Engine) drive(self *Proc) driveResult {
+	for !e.stopped {
+		if e.nqueued == 0 {
+			// Queue drained with procs still live: give the idle hook
+			// one chance per drain to feed external work in.
+			if e.nlive > 0 && e.onIdle != nil {
+				if e.onIdle() && e.nqueued > 0 {
+					continue
+				}
+			}
+			break
+		}
+		ev := e.pop()
+		e.now = ev.t
+		e.nevents++
+		switch {
+		case ev.proc != nil:
+			p := ev.proc
+			if p.dead {
+				continue
+			}
+			e.cur = p
+			if p == self {
+				return driveSelf
+			}
+			p.wake <- struct{}{}
+			return driveHanded
+		case ev.ch != nil:
+			ev.ch.Push(ev.payload)
+		default:
+			ev.fn()
+		}
+	}
+	return driveDrained
+}
+
 // Stop aborts the simulation: Run returns after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
@@ -142,18 +347,9 @@ func (e *Engine) SetIdleHook(fn func() bool) { e.onIdle = fn }
 // Live reports the number of procs that have been spawned and not finished.
 func (e *Engine) Live() int { return e.nlive }
 
-// runProc transfers control to p until it parks or finishes. Only called
-// from engine context (inside an event callback).
-func (e *Engine) runProc(p *Proc) {
-	if p.dead {
-		return
-	}
-	prev := e.cur
-	e.cur = p
-	p.wake <- struct{}{}
-	<-e.park
-	e.cur = prev
-}
+// Events reports the number of events fired since the engine was created,
+// the simulator's unit of kernel work (wall-clock benchmarks divide by it).
+func (e *Engine) Events() uint64 { return e.nevents }
 
 // Cur returns the proc currently running, or nil when in pure engine context.
 func (e *Engine) Cur() *Proc { return e.cur }

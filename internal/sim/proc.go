@@ -37,9 +37,16 @@ func (e *Engine) Spawn(name string, start Time, fn func(p *Proc)) *Proc {
 		if !p.daemon {
 			e.nlive--
 		}
-		e.park <- struct{}{} // final yield; never woken again
+		// Final yield: dispatch the remaining events; if the queue
+		// drained here, pass the token back to Run. The goroutine then
+		// exits holding no token (its own wake records are skipped as
+		// dead, so driveSelf cannot occur).
+		e.cur = nil
+		if e.drive(nil) == driveDrained {
+			e.park <- struct{}{}
+		}
 	}()
-	e.Schedule(start, func() { e.runProc(p) })
+	e.scheduleWake(start, p)
 	return p
 }
 
@@ -73,10 +80,26 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.eng.now }
 
-// yield returns control to the engine and blocks until woken.
+// yield gives up the simulation token and blocks until woken. The yielding
+// goroutine itself drives the event loop forward (see Engine.drive) before
+// parking, so waking the next proc costs one goroutine switch instead of a
+// bounce through a scheduler goroutine — and resuming this same proc (an
+// uncontended Advance) costs none at all.
 func (p *Proc) yield() {
-	p.eng.park <- struct{}{}
-	<-p.wake
+	e := p.eng
+	e.cur = nil
+	switch e.drive(p) {
+	case driveSelf:
+		// Our own wake record was the next event: keep the token and
+		// keep running.
+	case driveHanded:
+		<-p.wake
+	case driveDrained:
+		// Queue drained with us holding the token: hand it back to Run,
+		// then wait (a later Run phase may unpark us).
+		e.park <- struct{}{}
+		<-p.wake
+	}
 }
 
 // Advance consumes d of virtual time: the proc is suspended and resumes once
@@ -87,7 +110,7 @@ func (p *Proc) Advance(d Duration) {
 		d = 0
 	}
 	e := p.eng
-	e.Schedule(e.now.Add(d), func() { e.runProc(p) })
+	e.scheduleWake(e.now.Add(d), p)
 	p.yield()
 }
 
@@ -110,7 +133,7 @@ func (p *Proc) Park(reason string) {
 // maintain it.
 func (p *Proc) Unpark() {
 	e := p.eng
-	e.Schedule(e.now, func() { e.runProc(p) })
+	e.scheduleWake(e.now, p)
 }
 
 // checkRunning panics if p is not the proc currently holding the token.

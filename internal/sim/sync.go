@@ -2,12 +2,17 @@ package sim
 
 import "fmt"
 
+// procQueue is a FIFO of parked procs; the shared ring (see fifo) recycles
+// its buffer, so at steady state the wait queues of the synchronization
+// primitives stop allocating.
+type procQueue = fifo[*Proc]
+
 // Mutex is a FIFO mutual-exclusion lock for simulated threads. Unlike
 // sync.Mutex it is strictly fair: waiters are granted the lock in arrival
 // order, which keeps simulations deterministic. The zero value is unlocked.
 type Mutex struct {
 	owner   *Proc
-	waiters []*Proc
+	waiters procQueue
 }
 
 // Lock acquires m, blocking the calling proc until it is available. Lock is
@@ -21,7 +26,7 @@ func (m *Mutex) Lock(p *Proc) {
 	if m.owner == p {
 		panic(fmt.Sprintf("sim: proc %q locking mutex it already owns", p.name))
 	}
-	m.waiters = append(m.waiters, p)
+	m.waiters.push(p)
 	p.Park("mutex lock")
 }
 
@@ -39,12 +44,11 @@ func (m *Mutex) Unlock(p *Proc) {
 	if m.owner != p {
 		panic(fmt.Sprintf("sim: proc %q unlocking mutex owned by %v", p.name, ownerName(m.owner)))
 	}
-	if len(m.waiters) == 0 {
+	if m.waiters.len() == 0 {
 		m.owner = nil
 		return
 	}
-	next := m.waiters[0]
-	m.waiters = m.waiters[1:]
+	next := m.waiters.pop()
 	m.owner = next
 	next.Unpark()
 }
@@ -63,7 +67,7 @@ func ownerName(p *Proc) string {
 // Wait/Signal/Broadcast contract. Waiters are woken in FIFO order.
 type Cond struct {
 	L       *Mutex
-	waiters []*Proc
+	waiters procQueue
 }
 
 // NewCond returns a condition variable that uses l as its lock.
@@ -73,7 +77,7 @@ func NewCond(l *Mutex) *Cond { return &Cond{L: l} }
 // re-acquires the lock before returning. As with sync.Cond, callers must
 // re-check their predicate in a loop.
 func (c *Cond) Wait(p *Proc) {
-	c.waiters = append(c.waiters, p)
+	c.waiters.push(p)
 	c.L.Unlock(p)
 	p.Park("cond wait")
 	c.L.Lock(p)
@@ -81,20 +85,15 @@ func (c *Cond) Wait(p *Proc) {
 
 // Signal wakes the oldest waiter, if any.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
+	if c.waiters.len() == 0 {
 		return
 	}
-	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	w.Unpark()
+	c.waiters.pop().Unpark()
 }
 
 // Broadcast wakes all waiters.
 func (c *Cond) Broadcast() {
-	for _, w := range c.waiters {
-		w.Unpark()
-	}
-	c.waiters = nil
+	c.waiters.drain(func(w *Proc) { w.Unpark() })
 }
 
 // Semaphore is a counting semaphore with FIFO wakeups. A semaphore with n
@@ -102,7 +101,7 @@ func (c *Cond) Broadcast() {
 // node).
 type Semaphore struct {
 	avail   int
-	waiters []*Proc
+	waiters procQueue
 }
 
 // NewSemaphore returns a semaphore holding n units.
@@ -110,21 +109,19 @@ func NewSemaphore(n int) *Semaphore { return &Semaphore{avail: n} }
 
 // Acquire takes one unit, blocking until one is available.
 func (s *Semaphore) Acquire(p *Proc) {
-	if s.avail > 0 && len(s.waiters) == 0 {
+	if s.avail > 0 && s.waiters.len() == 0 {
 		s.avail--
 		return
 	}
-	s.waiters = append(s.waiters, p)
+	s.waiters.push(p)
 	p.Park("semaphore acquire")
 }
 
 // Release returns one unit, waking the oldest waiter if any. A release with
 // waiters present hands the unit directly to the waiter.
 func (s *Semaphore) Release() {
-	if len(s.waiters) > 0 {
-		w := s.waiters[0]
-		s.waiters = s.waiters[1:]
-		w.Unpark()
+	if s.waiters.len() > 0 {
+		s.waiters.pop().Unpark()
 		return
 	}
 	s.avail++
@@ -140,7 +137,7 @@ type Barrier struct {
 	n       int
 	arrived int
 	gen     int
-	waiters []*Proc
+	waiters procQueue
 }
 
 // NewBarrier returns a barrier for n participants. n must be >= 1.
@@ -159,13 +156,10 @@ func (b *Barrier) Wait(p *Proc) bool {
 	if b.arrived == b.n {
 		b.arrived = 0
 		b.gen++
-		for _, w := range b.waiters {
-			w.Unpark()
-		}
-		b.waiters = nil
+		b.waiters.drain(func(w *Proc) { w.Unpark() })
 		return true
 	}
-	b.waiters = append(b.waiters, p)
+	b.waiters.push(p)
 	p.Park("barrier wait")
 	return false
 }
@@ -204,45 +198,40 @@ func (r *Resource) Busy() Duration { return r.busy }
 // Chan is an unbounded FIFO message queue with blocking receive. It is the
 // building block for simulated network endpoints: senders (or engine event
 // callbacks, e.g. message-delivery events) push without blocking, receivers
-// block until a message arrives.
+// block until a message arrives. The queue is a recycling ring (see fifo),
+// so a drained channel reuses its buffer instead of reallocating.
 type Chan struct {
-	q       []interface{}
-	waiters []*Proc
+	q       fifo[interface{}]
+	waiters procQueue
 }
 
 // Push appends v and wakes one waiting receiver. Push may be called from any
 // simulation context, including engine event callbacks.
 func (c *Chan) Push(v interface{}) {
-	c.q = append(c.q, v)
-	if len(c.waiters) > 0 {
-		w := c.waiters[0]
-		c.waiters = c.waiters[1:]
-		w.Unpark()
+	c.q.push(v)
+	if c.waiters.len() > 0 {
+		c.waiters.pop().Unpark()
 	}
 }
 
 // Recv removes and returns the oldest message, blocking while the queue is
 // empty.
 func (c *Chan) Recv(p *Proc) interface{} {
-	for len(c.q) == 0 {
-		c.waiters = append(c.waiters, p)
+	for c.q.len() == 0 {
+		c.waiters.push(p)
 		p.Park("chan recv")
 	}
-	v := c.q[0]
-	c.q = c.q[1:]
-	return v
+	return c.q.pop()
 }
 
 // TryRecv removes and returns the oldest message without blocking. The
 // second result reports whether a message was available.
 func (c *Chan) TryRecv() (interface{}, bool) {
-	if len(c.q) == 0 {
+	if c.q.len() == 0 {
 		return nil, false
 	}
-	v := c.q[0]
-	c.q = c.q[1:]
-	return v, true
+	return c.q.pop(), true
 }
 
 // Len reports the number of queued messages.
-func (c *Chan) Len() int { return len(c.q) }
+func (c *Chan) Len() int { return c.q.len() }
