@@ -33,6 +33,16 @@
 // delay. Fault records attribute themselves to the link class their page
 // transfer crossed (FaultTiming.Link, TimingLog.ByLink).
 //
+// The platform also injects failures: a FaultPlan is a declarative,
+// seed-driven schedule of node crashes/restarts, link partitions/heals and
+// message loss, applied through System.InjectFaults. The network drops or
+// queues faulted traffic, the DSM recovery manager re-homes a dead node's
+// pages from the freshest surviving replica and unwedges in-flight protocol
+// actions, and crash-tolerant barriers (Thread.BarrierAs) let restarted
+// workers rejoin mid-computation. Replays of the same seed and plan are
+// bit-identical; see examples/faults and DESIGN.md ("Fault model &
+// recovery").
+//
 // # Quick start
 //
 // Mirroring the paper's Figure 2 (selecting a built-in protocol and sharing

@@ -1,0 +1,219 @@
+package dsmpm2_test
+
+// Fault-injection tests: crash/restart plans on the restart-aware jacobi
+// kernel must complete with sequentially-correct results, and the same
+// seed + plan must replay bit-identically (the golden-trace property
+// extended to faulty runs).
+
+import (
+	"math/rand"
+	"testing"
+
+	"dsmpm2"
+	"dsmpm2/internal/apps/jacobi"
+	"dsmpm2/internal/bench"
+)
+
+// at converts a duration offset into a fault-plan timestamp.
+func at(d dsmpm2.Duration) dsmpm2.Time { return dsmpm2.Time(d) }
+
+// faultyJacobiConfig is the pinned faulty workload of the acceptance
+// scenario: 16 nodes on a hierarchical topology, two mid-run crashes with
+// staggered restarts, plus a transient inter-cluster partition.
+func faultyJacobiConfig(protocol string) jacobi.Config {
+	plan := dsmpm2.NewFaultPlan(11)
+	plan.Crash(at(2*dsmpm2.Millisecond), 5).Restart(at(9*dsmpm2.Millisecond), 5)
+	plan.Crash(at(4*dsmpm2.Millisecond), 11).Restart(at(12*dsmpm2.Millisecond), 11)
+	plan.Partition(at(6*dsmpm2.Millisecond), 2, 9).Heal(at(8*dsmpm2.Millisecond), 2, 9)
+	return jacobi.Config{
+		N: 24, Iterations: 8, Nodes: 16,
+		Topology: dsmpm2.HierarchicalTopology(
+			dsmpm2.EvenClusters(16, 2), dsmpm2.BIPMyrinet, dsmpm2.TCPFastEthernet),
+		Protocol: protocol, Seed: 7,
+		FaultPlan: plan,
+	}
+}
+
+const (
+	// goldenFaultyJacobiFingerprint pins the hbrc_mw faulty run's TimingLog
+	// the same way golden_test.go pins the fault-free one: a kernel or
+	// recovery change that moves any virtual timestamp of the faulty replay
+	// shows up here immediately.
+	goldenFaultyJacobiFingerprint = "db46952256e2284f165f41bed80b505917bc0761f33df0edca4deabe671b89ad"
+	// Elapsed is the computation's end (last worker finish), not the
+	// drain time of trailing fault-plan events.
+	goldenFaultyJacobiElapsed = dsmpm2.Time(21463006)
+)
+
+// TestGoldenFaultyJacobiTrace replays the pinned faulty workload and
+// requires the exact recorded fault timings and final clock.
+func TestGoldenFaultyJacobiTrace(t *testing.T) {
+	res, err := jacobi.Run(faultyJacobiConfig("hbrc_mw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Elapsed != goldenFaultyJacobiElapsed {
+		t.Errorf("virtual elapsed = %d, want %d (fault replay timing changed)",
+			res.Elapsed, goldenFaultyJacobiElapsed)
+	}
+	if fp := bench.TraceFingerprint(res.System); fp != goldenFaultyJacobiFingerprint {
+		t.Errorf("trace fingerprint = %s,\nwant %s\n(faulty-trace replay diverged from the golden trace)",
+			fp, goldenFaultyJacobiFingerprint)
+	}
+}
+
+// TestFaultyJacobiCorrectAndReplayable: the acceptance criterion. A
+// crash/restart plan on jacobi (16 nodes, hierarchical topology) completes
+// with sequentially-correct results under at least two protocols, and
+// replaying the same seed + plan yields an identical TimingLog fingerprint.
+func TestFaultyJacobiCorrectAndReplayable(t *testing.T) {
+	want := jacobi.SolveSerial(24, 8)
+	for _, proto := range []string{"hbrc_mw", "entry_mw"} {
+		a, err := jacobi.Run(faultyJacobiConfig(proto))
+		if err != nil {
+			t.Fatalf("[%s] %v", proto, err)
+		}
+		if a.Checksum != want {
+			t.Errorf("[%s] checksum = %v, want %v (recovery: %+v)",
+				proto, a.Checksum, want, a.Recovery)
+		}
+		if a.Faults.Crashes != 2 || a.Faults.Restarts != 2 {
+			t.Errorf("[%s] fault counters %+v, want 2 crashes / 2 restarts", proto, a.Faults)
+		}
+		b, err := jacobi.Run(faultyJacobiConfig(proto))
+		if err != nil {
+			t.Fatalf("[%s] replay: %v", proto, err)
+		}
+		if fa, fb := bench.TraceFingerprint(a.System), bench.TraceFingerprint(b.System); fa != fb {
+			t.Errorf("[%s] same seed + plan diverged:\n%s\n%s", proto, fa, fb)
+		}
+		if a.Elapsed != b.Elapsed {
+			t.Errorf("[%s] elapsed %d vs %d on replay", proto, a.Elapsed, b.Elapsed)
+		}
+	}
+}
+
+// TestFaultPlanOrderIrrelevant: shuffling the order fault events were added
+// to the plan must not change the replay — events are applied in a canonical
+// total order, not insertion order.
+func TestFaultPlanOrderIrrelevant(t *testing.T) {
+	run := func(shuffleSeed int64) string {
+		cfg := faultyJacobiConfig("hbrc_mw")
+		if shuffleSeed != 0 {
+			rng := rand.New(rand.NewSource(shuffleSeed))
+			evs := cfg.FaultPlan.Events
+			rng.Shuffle(len(evs), func(i, j int) { evs[i], evs[j] = evs[j], evs[i] })
+		}
+		res, err := jacobi.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bench.TraceFingerprint(res.System)
+	}
+	base := run(0)
+	for seed := int64(1); seed <= 3; seed++ {
+		if got := run(seed); got != base {
+			t.Fatalf("shuffle(seed=%d) changed the replay:\n%s\n%s", seed, got, base)
+		}
+	}
+}
+
+// TestFaultPartitionOnly: a pure partition (queue policy) delays but never
+// corrupts — no recovery machinery beyond the held-message queue is needed,
+// and the held messages' extra latency shows up in the fault stats.
+func TestFaultPartitionOnly(t *testing.T) {
+	plan := dsmpm2.NewFaultPlan(3)
+	plan.Partition(at(1*dsmpm2.Millisecond), 0, 1)
+	plan.Heal(at(3*dsmpm2.Millisecond), 0, 1)
+	cfg := jacobi.Config{
+		N: 16, Iterations: 4, Nodes: 4,
+		Network: dsmpm2.TCPFastEthernet, Protocol: "hbrc_mw", Seed: 5,
+		FaultPlan: plan,
+	}
+	res, err := jacobi.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := jacobi.SolveSerial(16, 4); res.Checksum != want {
+		t.Fatalf("checksum = %v, want %v", res.Checksum, want)
+	}
+	if res.Recovery.Crashes != 0 {
+		t.Errorf("partition-only run recorded %d crashes", res.Recovery.Crashes)
+	}
+	if res.Faults.Held == 0 || res.Faults.HeldTime == 0 {
+		t.Errorf("no messages were held on the partitioned link: %+v", res.Faults)
+	}
+}
+
+// TestFaultLossyDiffLink: message loss on the links carrying the DSM data
+// plane — page requests and transfers, release diffs, invalidations and
+// their acks — must not wedge the protocol (the recovery waits re-send on
+// timeout, and diffs/invalidations apply idempotently) and must not corrupt
+// the result. Loss is configured on the writer<->home pair only: the
+// synchronization manager (node 0) keeps reliable links, per the documented
+// fault model.
+func TestFaultLossyDiffLink(t *testing.T) {
+	sys := dsmpm2.MustNew(dsmpm2.Config{Nodes: 3, Protocol: "hbrc_mw", Seed: 5})
+	plan := dsmpm2.NewFaultPlan(21)
+	plan.Loss(at(0), 2, 1, 0.4, 0) // writer 2 -> home 1: drop 40%
+	plan.Loss(at(0), 1, 2, 0.4, 0) // home 1 -> writer 2: drop 40%
+	sys.InjectFaults(plan, dsmpm2.FaultOptions{})
+
+	base := sys.MustMalloc(1, dsmpm2.PageSize, &dsmpm2.Attr{Protocol: -1, Home: 1})
+	lock := sys.NewLock(0)
+	const rounds = 20
+	sys.Spawn(2, "writer", func(th *dsmpm2.Thread) {
+		for i := 0; i < rounds; i++ {
+			th.Acquire(lock)
+			th.WriteUint64(base+dsmpm2.Addr(8*(i%8)), uint64(i+1))
+			th.Release(lock) // flushes the diff home over the lossy link
+		}
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var got [8]uint64
+	sys.Spawn(0, "reader", func(th *dsmpm2.Thread) {
+		th.Acquire(lock)
+		for s := 0; s < 8; s++ {
+			got[s] = th.ReadUint64(base + dsmpm2.Addr(8*s))
+		}
+		th.Release(lock)
+	})
+	if err := sys.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 8; s++ {
+		// Slot s was last written in round i where i%8 == s, i < rounds.
+		want := uint64(rounds - 8 + (s+8-rounds%8)%8 + 1)
+		if got[s] != want {
+			t.Fatalf("slot %d = %d, want %d (faults %+v)", s, got[s], want, sys.FaultStats())
+		}
+	}
+	if sys.FaultStats().Dropped == 0 {
+		t.Fatalf("lossy link dropped nothing: %+v", sys.FaultStats())
+	}
+}
+
+// TestMTBFPlanDeterministic: the exponential-failure plan generator is a
+// pure function of its arguments.
+func TestMTBFPlanDeterministic(t *testing.T) {
+	gen := func() *dsmpm2.FaultPlan {
+		return dsmpm2.GenerateMTBFPlan(42, 8, dsmpm2.Time(50*dsmpm2.Millisecond),
+			20*dsmpm2.Millisecond, 5*dsmpm2.Millisecond, 0)
+	}
+	a, b := gen(), gen()
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event counts differ: %d vs %d", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	for _, ev := range a.Events {
+		if ev.Node == 0 {
+			t.Fatalf("protected node 0 appears in plan: %+v", ev)
+		}
+	}
+}

@@ -23,11 +23,14 @@ const (
 // ctrlBytes is the wire size of a control message.
 const ctrlBytes = 64
 
-// reqMsg asks the destination for page access.
+// reqMsg asks the destination for page access. seq is the requesting
+// entry's request sequence number, echoed back with the page so retried
+// fetches can discard their predecessors' late responses (recovery mode).
 type reqMsg struct {
 	page   Page
 	from   int // requesting node
 	write  bool
+	seq    uint64
 	timing *FaultTiming
 	sentAt sim.Time
 }
@@ -41,6 +44,7 @@ type pageMsg struct {
 	owner   int
 	ownship bool
 	copyset []int
+	seq     uint64 // request sequence this page answers (see reqMsg)
 	timing  *FaultTiming
 	sentAt  sim.Time
 	link    string // profile name of the link carrying the transfer
@@ -72,6 +76,11 @@ func (d *DSM) registerServices() {
 
 		node.Register(svcRequest, true, func(h *pm2.Thread, arg interface{}) interface{} {
 			m := arg.(*reqMsg)
+			if d.recovery != nil && d.NodeDead(m.from) {
+				// A dead requester must not be granted anything — a write
+				// request served now would strand ownership on a corpse.
+				return nil
+			}
 			if m.timing != nil {
 				m.timing.Request = h.Now().Sub(m.sentAt)
 			}
@@ -82,6 +91,7 @@ func (d *DSM) registerServices() {
 				Page:   m.page,
 				From:   m.from,
 				Write:  m.write,
+				Seq:    m.seq,
 				Timing: m.timing,
 			}
 			p := d.protoFor(m.page)
@@ -110,6 +120,7 @@ func (d *DSM) registerServices() {
 				Owner:   m.owner,
 				Ownship: m.ownship,
 				Copyset: m.copyset,
+				Seq:     m.seq,
 				Timing:  m.timing,
 			}
 			d.protoFor(m.page).ReceivePageServer(pm)
@@ -131,7 +142,9 @@ func (d *DSM) registerServices() {
 			}
 			d.protoFor(m.page).InvalidateServer(iv)
 			if m.ack != nil {
-				d.rt.Network().SendDirect(h.Node(), m.from, m.ack, ctrlBytes, nil, d.rt.Link(h.Node(), m.from).CtrlMsg)
+				// The ack carries the acknowledging node id, so a recovery
+				// retry loop can tick off exactly which holders answered.
+				d.rt.Network().SendDirect(h.Node(), m.from, m.ack, ctrlBytes, h.Node(), d.rt.Link(h.Node(), m.from).CtrlMsg)
 			}
 			return nil
 		})
@@ -190,6 +203,12 @@ func (d *DSM) sendInvalidate(from, dest int, m *invMsg) {
 // sendDiffs delivers a batch of diffs to dest and, if wait is true, blocks
 // the calling thread until the destination has applied them (release
 // semantics demand it).
+//
+// With recovery enabled the wait is bounded: if the home dies before
+// acknowledging, each diff is re-routed to its page's current home (the
+// recovery sweep re-homed the dead node's pages), applied locally when this
+// node became the home. Diffs are absolute byte ranges, so a diff the dead
+// home did manage to apply before crashing re-applies idempotently.
 func (d *DSM) sendDiffs(t *pm2.Thread, dest int, diffs []*memory.Diff, wait bool) {
 	size := ctrlBytes
 	for _, df := range diffs {
@@ -202,7 +221,52 @@ func (d *DSM) sendDiffs(t *pm2.Thread, dest int, diffs []*memory.Diff, wait bool
 		m.reply = new(sim.Chan)
 	}
 	d.rt.AsyncFrom(t.Node(), dest, svcDiff, m, size)
-	if wait {
+	if !wait {
+		return
+	}
+	if d.recovery == nil {
 		m.reply.Recv(t.Proc())
+		return
+	}
+	for {
+		if _, ok := m.reply.RecvTimeout(t.Proc(), d.recovery.cfg.Timeout); ok {
+			return
+		}
+		d.recovery.stats.Retries++
+		if !d.NodeDead(dest) {
+			// The home is alive but silent: the diff or its ack may have
+			// been lost on a lossy link, or is crawling through a
+			// partition. Re-send — diffs apply idempotently, and a
+			// duplicate ack just lingers unread in this call's private
+			// reply channel.
+			d.rt.AsyncFrom(t.Node(), dest, svcDiff, m, size)
+			continue
+		}
+		// The home died with our diffs unacknowledged: re-route each diff
+		// to its page's current home. When this node *became* the home,
+		// the diff goes through the protocol's own DiffServer so its
+		// commit side effects (applying, then invalidating third-party
+		// copies) happen exactly as they would have at the old home.
+		for _, df := range diffs {
+			home := d.allocInfo[df.Page].home
+			if home == t.Node() {
+				if ds, ok := d.protoFor(df.Page).(DiffServer); ok {
+					ds.DiffServer(&DiffMsg{
+						DSM: d, Thread: t, Node: t.Node(), From: t.Node(),
+						Diffs: []*memory.Diff{df},
+					})
+					continue
+				}
+				e := d.Entry(t.Node(), df.Page)
+				e.Lock(t)
+				if frame := d.state[t.Node()].space.Frame(df.Page); frame != nil {
+					memory.ApplyDiff(frame.Data, df)
+				}
+				e.Unlock(t)
+				continue
+			}
+			d.sendDiffs(t, home, []*memory.Diff{df}, true)
+		}
+		return
 	}
 }

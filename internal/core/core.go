@@ -100,6 +100,10 @@ type DSM struct {
 
 	objects *objectSpace
 
+	// recovery is the fault-recovery manager: nil (and completely inert)
+	// until EnableRecovery is called. See recovery.go.
+	recovery *recoveryState
+
 	stats      Stats
 	nodeFaults []int64
 	timings    TimingLog

@@ -55,6 +55,13 @@ type Entry struct {
 	InvalSeq   uint64
 	pendingSeq uint64
 
+	// reqSeq numbers this node's page requests for this page. Responses
+	// echo it, and with recovery enabled InstallPage discards responses to
+	// superseded requests — a retry after a timeout must not let the
+	// original's late response install stale data. Fault-free runs never
+	// retry, so the sequence is always current there.
+	reqSeq uint64
+
 	mu   sim.Mutex
 	cond *sim.Cond
 }
@@ -104,6 +111,13 @@ func (e *Entry) Unlock(t *pm2.Thread) { e.mu.Unlock(t.Proc()) }
 // the lock while suspended. Used by faulting threads waiting for a page and
 // by servers waiting for in-flight ownership.
 func (e *Entry) Wait(t *pm2.Thread) { e.cond.Wait(t.Proc()) }
+
+// WaitTimeout is Wait bounded by d of virtual time; it reports false when
+// the wait timed out. The recovery paths use it so a fetch whose server died
+// wakes up and retries instead of blocking forever.
+func (e *Entry) WaitTimeout(t *pm2.Thread, d sim.Duration) bool {
+	return e.cond.WaitTimeout(t.Proc(), d)
+}
 
 // Broadcast wakes all threads blocked in Wait.
 func (e *Entry) Broadcast() { e.cond.Broadcast() }

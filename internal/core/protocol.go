@@ -49,6 +49,9 @@ type Request struct {
 	Page   Page
 	From   int // requesting node
 	Write  bool
+	// Seq is the requester's fetch sequence number; SendPage echoes it so
+	// retried fetches (recovery mode) can discard superseded responses.
+	Seq    uint64
 	Timing *FaultTiming
 }
 
@@ -79,6 +82,7 @@ type PageMsg struct {
 	Owner   int
 	Ownship bool // ownership transferred with the page
 	Copyset []int
+	Seq     uint64 // fetch sequence this page answers (see Request.Seq)
 	Timing  *FaultTiming
 }
 
@@ -131,6 +135,16 @@ type PageInitializer interface {
 // arriving diffs to it.
 type DiffServer interface {
 	DiffServer(dm *DiffMsg)
+}
+
+// Recoverable is an optional extension interface: protocols holding private
+// per-node state (dirty-page maps, fault counters) implement it so the
+// recovery manager can discard a crashed node's state. OnNodeCrash runs when
+// the node fail-stops, OnNodeRestart after the core has rebuilt the node's
+// page table for its cold restart.
+type Recoverable interface {
+	OnNodeCrash(node int)
+	OnNodeRestart(node int)
 }
 
 // ObjectProtocol is an optional extension interface for protocols that

@@ -43,6 +43,8 @@ func FetchPage(f *Fault, write bool) {
 	}
 	e.Pending = true
 	e.pendingSeq = e.InvalSeq
+	e.reqSeq++
+	seq := e.reqSeq
 	dest := e.ProbOwner
 	e.Unlock(t)
 
@@ -50,12 +52,44 @@ func FetchPage(f *Fault, write bool) {
 		page:   f.Page,
 		from:   f.Node,
 		write:  write,
+		seq:    seq,
 		timing: f.Timing,
 	})
 
 	e.Lock(t)
+	if d.recovery == nil {
+		for e.Pending {
+			e.Wait(t)
+		}
+		f.KeepEntryLocked()
+		return
+	}
+	// Recovery mode: bound each wait, and when the fetch we own is still
+	// outstanding after a timeout, retry toward the current probable owner —
+	// if the server died, the recovery sweep has redirected the hint to the
+	// page's new home, and the bumped sequence number retires any late
+	// response to the original request.
 	for e.Pending {
-		e.Wait(t)
+		if e.WaitTimeout(t, d.recovery.cfg.Timeout) {
+			continue
+		}
+		if !e.Pending || e.reqSeq != seq {
+			continue // another thread's fetch owns the entry now
+		}
+		e.reqSeq++
+		seq = e.reqSeq
+		e.pendingSeq = e.InvalSeq
+		dest = e.ProbOwner
+		e.Unlock(t)
+		d.recovery.stats.Retries++
+		d.sendRequest(f.Node, dest, &reqMsg{
+			page:   f.Page,
+			from:   f.Node,
+			write:  write,
+			seq:    seq,
+			timing: f.Timing,
+		})
+		e.Lock(t)
 	}
 	f.KeepEntryLocked()
 }
@@ -125,6 +159,7 @@ func SendPage(r *Request, e *Entry, dest int, access memory.Access, ownship bool
 		owner:   owner,
 		ownship: ownship,
 		copyset: copyset,
+		seq:     r.Seq,
 		timing:  r.Timing,
 	})
 }
@@ -140,6 +175,16 @@ func InstallPage(pm *PageMsg) {
 	t.Compute(d.costs.Install)
 	if pm.Timing != nil {
 		pm.Timing.Install = d.costs.Install
+	}
+	if d.recovery != nil && (!e.Pending || (!pm.Ownship && pm.Seq != e.reqSeq)) {
+		// A late response to a request that was since retried (or already
+		// satisfied): its data may predate writes the current owner has
+		// accepted. Discard it; the outstanding fetch, if any, stays
+		// pending and its own response will complete it.
+		d.bufs.Put(pm.Data)
+		pm.Data = nil
+		e.Unlock(t)
+		return
 	}
 	if !pm.Ownship && e.InvalSeq != e.pendingSeq {
 		// An invalidation overtook this copy in flight: the data is
@@ -177,18 +222,57 @@ func InstallPage(pm *PageMsg) {
 // InvalidateCopies sends invalidations for pg to every node in copyset
 // except self and newOwner, and blocks until all of them acknowledge.
 // The entry lock must NOT be held: invalidated nodes may need it.
+//
+// With recovery enabled, dead holders are skipped, outstanding acks are
+// tracked per node, and a timeout re-checks for crashes and re-sends to the
+// remaining holders (invalidations are idempotent), so a holder dying
+// mid-invalidation cannot wedge the writer forever.
 func InvalidateCopies(d *DSM, t *pm2.Thread, pg Page, copyset []int, newOwner int) {
-	acks := 0
+	if d.recovery == nil {
+		acks := 0
+		ack := new(sim.Chan)
+		for _, n := range copyset {
+			if n == t.Node() || n == newOwner {
+				continue
+			}
+			d.sendInvalidate(t.Node(), n, &invMsg{page: pg, from: t.Node(), newOwner: newOwner, ack: ack})
+			acks++
+		}
+		for i := 0; i < acks; i++ {
+			ack.Recv(t.Proc())
+		}
+		return
+	}
 	ack := new(sim.Chan)
+	outstanding := make(map[int]bool)
 	for _, n := range copyset {
-		if n == t.Node() || n == newOwner {
+		if n == t.Node() || n == newOwner || d.NodeDead(n) {
 			continue
 		}
 		d.sendInvalidate(t.Node(), n, &invMsg{page: pg, from: t.Node(), newOwner: newOwner, ack: ack})
-		acks++
+		outstanding[n] = true
 	}
-	for i := 0; i < acks; i++ {
-		ack.Recv(t.Proc())
+	for len(outstanding) > 0 {
+		v, ok := ack.RecvTimeout(t.Proc(), d.recovery.cfg.Timeout)
+		if ok {
+			if n, isNode := v.(int); isNode {
+				delete(outstanding, n)
+			}
+			continue
+		}
+		remaining := make([]int, 0, len(outstanding))
+		for n := range outstanding {
+			remaining = append(remaining, n)
+		}
+		sort.Ints(remaining)
+		for _, n := range remaining {
+			if d.NodeDead(n) {
+				delete(outstanding, n)
+				continue
+			}
+			d.recovery.stats.Retries++
+			d.sendInvalidate(t.Node(), n, &invMsg{page: pg, from: t.Node(), newOwner: newOwner, ack: ack})
+		}
 	}
 }
 

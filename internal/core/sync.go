@@ -13,23 +13,43 @@ import (
 // a manager (home) node; acquire and release are RPCs to it, and grants are
 // FIFO.
 
+// lockWaiter is one queued acquirer: its grant channel plus the node it
+// asked from, so crash recovery can cancel a dead node's queued requests.
+// Pushing true grants the lock; pushing false cancels the wait.
+type lockWaiter struct {
+	ch   *sim.Chan
+	from int
+}
+
 // lockState is the manager-side state of one DSM lock.
 type lockState struct {
 	id      int
 	home    int
 	held    bool
-	holder  int // node id of current holder, for diagnostics
-	waiters []*sim.Chan
+	holder  int // node id of current holder
+	waiters []*lockWaiter
 	bound   []Page // pages associated via BindLock (entry consistency)
 }
 
-// barrierState is the manager-side state of one DSM barrier.
+// barrierWaiter is one blocked barrier arrival. participant is -1 for
+// anonymous arrivals; fault-tolerant participants identify themselves so a
+// restarted participant's re-arrival replaces its dead predecessor's slot
+// instead of over-counting.
+type barrierWaiter struct {
+	ch          *sim.Chan
+	participant int
+}
+
+// barrierState is the manager-side state of one DSM barrier. gen counts
+// completed generations, so re-arrivals for an already-released generation
+// return immediately.
 type barrierState struct {
 	id      int
 	home    int
 	n       int
+	gen     int
 	arrived int
-	waiters []*sim.Chan
+	waiters []*barrierWaiter
 }
 
 // NewLock creates a cluster-wide lock managed by node home and returns its
@@ -89,8 +109,10 @@ type lockReq struct {
 	from int
 }
 type barrierReq struct {
-	id   int
-	from int
+	id          int
+	from        int
+	participant int // -1 for anonymous arrivals
+	gen         int // arriving participant's generation; -1 when anonymous
 }
 
 // registerSyncServices installs the lock and barrier managers on each node.
@@ -102,11 +124,16 @@ func (d *DSM) registerSyncServices() {
 
 		node.Register(svcLockAcq, true, func(h *pm2.Thread, arg interface{}) interface{} {
 			req := arg.(*lockReq)
+			if d.recovery != nil && d.NodeDead(req.from) {
+				return nil // stale acquire from a crashed node
+			}
 			ls := d.locks[req.id]
 			if ls.held {
-				ch := new(sim.Chan)
-				ls.waiters = append(ls.waiters, ch)
-				ch.Recv(h.Proc()) // granted by a release
+				lw := &lockWaiter{ch: new(sim.Chan), from: req.from}
+				ls.waiters = append(ls.waiters, lw)
+				if granted, _ := lw.ch.Recv(h.Proc()).(bool); !granted {
+					return nil // cancelled: the requester died while queued
+				}
 			} else {
 				ls.held = true
 			}
@@ -116,41 +143,80 @@ func (d *DSM) registerSyncServices() {
 
 		node.Register(svcLockRel, true, func(h *pm2.Thread, arg interface{}) interface{} {
 			req := arg.(*lockReq)
+			if d.recovery != nil && d.NodeDead(req.from) {
+				return nil // stale release from a crashed node
+			}
 			ls := d.locks[req.id]
 			if !ls.held {
 				return fmt.Sprintf("core: release of unheld lock %d by node %d", req.id, req.from)
 			}
-			if len(ls.waiters) > 0 {
-				next := ls.waiters[0]
-				ls.waiters = ls.waiters[1:]
-				next.Push(nil) // hand the lock over
-			} else {
-				ls.held = false
-				ls.holder = -1
-			}
+			d.grantNext(ls)
 			return nil
 		})
 
 		node.Register(svcBarrier, true, func(h *pm2.Thread, arg interface{}) interface{} {
 			req := arg.(*barrierReq)
+			if d.recovery != nil && d.NodeDead(req.from) {
+				return nil // stale arrival from a crashed node
+			}
 			bs := d.barriers[req.id]
+			if req.participant >= 0 {
+				if req.gen >= 0 && req.gen < bs.gen {
+					return nil // that generation already completed
+				}
+				if req.gen > bs.gen {
+					panic(fmt.Sprintf("core: barrier %d arrival for future generation %d (current %d)",
+						req.id, req.gen, bs.gen))
+				}
+				for _, w := range bs.waiters {
+					if w.participant != req.participant {
+						continue
+					}
+					// Re-arrival of a participant that already arrived this
+					// generation: its previous incarnation crashed while
+					// parked here. Cancel the stranded handler and take
+					// over its slot; the arrival count is unchanged.
+					w.ch.Push(false)
+					w.ch = new(sim.Chan)
+					w.ch.Recv(h.Proc())
+					return nil
+				}
+			}
 			bs.arrived++
 			if bs.arrived == bs.n {
 				bs.arrived = 0
+				bs.gen++
 				for _, w := range bs.waiters {
-					w.Push(nil)
+					w.ch.Push(true)
 				}
 				bs.waiters = nil
 				return nil
 			}
-			ch := new(sim.Chan)
-			bs.waiters = append(bs.waiters, ch)
-			ch.Recv(h.Proc())
+			w := &barrierWaiter{ch: new(sim.Chan), participant: req.participant}
+			bs.waiters = append(bs.waiters, w)
+			w.ch.Recv(h.Proc())
 			return nil
 		})
 
 		d.registerCondServices(node)
 	}
+}
+
+// grantNext hands the lock to the oldest live waiter, or marks it free.
+// Dead waiters (their node crashed while queued) are cancelled in passing.
+func (d *DSM) grantNext(ls *lockState) {
+	for len(ls.waiters) > 0 {
+		next := ls.waiters[0]
+		ls.waiters = ls.waiters[1:]
+		if d.recovery != nil && d.NodeDead(next.from) {
+			next.ch.Push(false)
+			continue
+		}
+		next.ch.Push(true)
+		return
+	}
+	ls.held = false
+	ls.holder = -1
 }
 
 // Acquire takes the DSM lock id on behalf of t, blocking until granted, then
@@ -186,14 +252,41 @@ func (d *DSM) Release(t *pm2.Thread, id int) {
 // protocols' release actions run before the wait and their acquire actions
 // after it.
 func (d *DSM) Barrier(t *pm2.Thread, id int) {
+	d.BarrierAs(t, id, -1, -1)
+}
+
+// BarrierAs is Barrier with an explicit participant identity and generation,
+// the fault-tolerant arrival form. A participant id >= 0 makes arrivals
+// idempotent per generation: if this participant already arrived in gen (its
+// previous incarnation crashed mid-barrier), the re-arrival takes over the
+// old slot instead of over-counting, and an arrival for a generation that
+// already completed returns immediately. Restart-aware applications track
+// their own generation counter and re-arrive for the last generation they
+// completed before resuming work.
+func (d *DSM) BarrierAs(t *pm2.Thread, id, participant, gen int) {
 	if id < 0 || id >= len(d.barriers) {
 		panic(fmt.Sprintf("core: wait on unknown barrier %d", id))
 	}
 	d.stats.Barriers++
 	ev := &SyncEvent{DSM: d, Thread: t, Node: t.Node(), Lock: id, Barrier: true}
 	d.eachInstance(func(p Protocol) { p.LockRelease(ev) })
-	t.Call(d.barriers[id].home, svcBarrier, &barrierReq{id: id, from: t.Node()}, ctrlBytes, ctrlBytes)
+	t.Call(d.barriers[id].home, svcBarrier,
+		&barrierReq{id: id, from: t.Node(), participant: participant, gen: gen}, ctrlBytes, ctrlBytes)
 	d.eachInstance(func(p Protocol) { p.LockAcquire(ev) })
+}
+
+// BarrierGen reports the number of completed generations of barrier id
+// (restart-aware applications use it to rejoin at the right generation).
+func (d *DSM) BarrierGen(id int) int { return d.barriers[id].gen }
+
+// FlushRelease runs every active protocol's release action (as a barrier
+// would) without any synchronization RPC: an explicit commit point. Restart-
+// aware applications call it before recording a local checkpoint, so the
+// checkpoint never claims work whose unflushed diffs would die with the
+// node; the following barrier's own release pass then finds nothing dirty.
+func (d *DSM) FlushRelease(t *pm2.Thread) {
+	ev := &SyncEvent{DSM: d, Thread: t, Node: t.Node(), Lock: -1, Barrier: true}
+	d.eachInstance(func(p Protocol) { p.LockRelease(ev) })
 }
 
 // LockHome reports the manager node of lock id (tests and tools).

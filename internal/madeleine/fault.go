@@ -1,0 +1,331 @@
+package madeleine
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dsmpm2/internal/sim"
+)
+
+// Network-level fault state. Everything in this file is gated on
+// Network.faults being non-nil: a network without EnableFaults pays a single
+// nil check per send and behaves bit-for-bit like the fault-free code.
+//
+// The model is fail-stop nodes plus per-directed-link faults:
+//
+//   - a dead node neither sends nor receives; messages addressed to (or
+//     from) it are dropped at the sending interface, and its inbound queues
+//     are replaced wholesale so that in-flight deliveries land in orphaned
+//     channels instead of leaking into a later incarnation of the node;
+//   - a partitioned link either queues its traffic until the link heals
+//     (PartitionQueue, the default — models a transient partition with
+//     reliable transport underneath) or drops it (PartitionDrop);
+//   - a lossy link drops or duplicates each message independently with the
+//     configured probabilities, drawn from the fault layer's private PRNG so
+//     the engine's own random stream — and therefore the fault-free portion
+//     of the replay — is untouched.
+
+// PartitionPolicy selects what happens to messages sent over a partitioned
+// link.
+type PartitionPolicy int
+
+const (
+	// PartitionQueue holds messages and re-injects them, FIFO per link,
+	// when the link heals.
+	PartitionQueue PartitionPolicy = iota
+	// PartitionDrop discards messages sent over a partitioned link.
+	PartitionDrop
+)
+
+// FaultStats aggregates the fault layer's counters.
+type FaultStats struct {
+	// DeadDrops counts messages dropped because an endpoint was dead.
+	DeadDrops int
+	// Dropped counts messages discarded by partitions or lossy links.
+	Dropped int
+	// Duplicated counts extra copies injected by lossy links.
+	Duplicated int
+	// Held counts messages queued on partitioned links.
+	Held int
+	// HeldTime is the total virtual time held messages spent waiting for
+	// their link to heal — the fault-induced latency the timing reports
+	// attribute to the link (it surfaces in FaultTiming.Transfer and
+	// TimingLog.ByLink automatically, since transfer time is measured
+	// send-to-receive).
+	HeldTime sim.Duration
+	// Crashes and Restarts count node fault events applied.
+	Crashes  int
+	Restarts int
+}
+
+// heldMsg is one message parked on a partitioned link.
+type heldMsg struct {
+	from    int
+	to      int
+	q       *sim.Chan
+	payload interface{}
+	size    int
+	d       sim.Duration // arrival latency to charge from heal time
+	isMsg   bool         // payload is a pooled *Message owned by this network
+	heldAt  sim.Time
+}
+
+// linkFault is the fault state of one directed link.
+type linkFault struct {
+	partitioned bool
+	dropRate    float64
+	dupRate     float64
+	held        []heldMsg
+}
+
+// faultState is the network's fault layer (nil when faults are disabled).
+type faultState struct {
+	rng    *rand.Rand
+	policy PartitionPolicy
+	dead   []bool
+	links  map[linkKey]*linkFault
+	onDrop func(payload interface{})
+	dup    func(payload interface{}) interface{}
+	stats  FaultStats
+}
+
+// EnableFaults switches the fault layer on. seed drives the private PRNG
+// behind probabilistic loss (zero means 1); policy selects the partition
+// behaviour. Enabling faults on a quiet network is free until a fault is
+// actually injected.
+func (nw *Network) EnableFaults(seed int64, policy PartitionPolicy) {
+	if seed == 0 {
+		seed = 1
+	}
+	nw.faults = &faultState{
+		rng:    rand.New(rand.NewSource(seed)),
+		policy: policy,
+		dead:   make([]bool, nw.n),
+		links:  make(map[linkKey]*linkFault),
+	}
+}
+
+// FaultsEnabled reports whether the fault layer is on.
+func (nw *Network) FaultsEnabled() bool { return nw.faults != nil }
+
+// FaultStats returns the fault layer's counters (zero value when disabled).
+func (nw *Network) FaultStats() FaultStats {
+	if nw.faults == nil {
+		return FaultStats{}
+	}
+	return nw.faults.stats
+}
+
+// SetDropHandler installs fn, called exactly once with the payload of every
+// message the fault layer discards, after the network has reclaimed its own
+// *Message envelope. The PM2 runtime uses it to return pooled rpcReq
+// envelopes to their freelist; without a handler dropped payloads are simply
+// left to the garbage collector.
+func (nw *Network) SetDropHandler(fn func(payload interface{})) {
+	nw.mustFaults("SetDropHandler").onDrop = fn
+}
+
+// SetDupHandler installs fn, called to produce an independent copy of a
+// payload when a lossy link duplicates a message. Returning nil vetoes the
+// duplication (the message is delivered once). Only named-channel messages
+// are ever duplicated; direct sends (RPC replies, acks) are not, because
+// their receivers own the reply queue and cannot distinguish copies.
+func (nw *Network) SetDupHandler(fn func(payload interface{}) interface{}) {
+	nw.mustFaults("SetDupHandler").dup = fn
+}
+
+func (nw *Network) mustFaults(op string) *faultState {
+	if nw.faults == nil {
+		panic("madeleine: " + op + " before EnableFaults")
+	}
+	return nw.faults
+}
+
+// NodeDead reports whether node n is currently crashed.
+func (nw *Network) NodeDead(n int) bool {
+	return nw.faults != nil && n >= 0 && n < nw.n && nw.faults.dead[n]
+}
+
+// CrashNode fail-stops node n: subsequent messages to or from it are
+// dropped, its inbound queues are replaced (in-flight deliveries land in the
+// orphaned queues of the dead incarnation), and messages already held for it
+// on partitioned links are discarded.
+func (nw *Network) CrashNode(n int) {
+	fs := nw.mustFaults("CrashNode")
+	if n < 0 || n >= nw.n {
+		panic(fmt.Sprintf("madeleine: crash of node %d out of range [0,%d)", n, nw.n))
+	}
+	if fs.dead[n] {
+		return
+	}
+	fs.dead[n] = true
+	fs.stats.Crashes++
+	// Old queues are orphaned, not drained: deliveries already scheduled on
+	// the engine hold pointers to them and must not reach the node's next
+	// incarnation. Pending messages they contain are reclaimed now.
+	old := nw.queues[n]
+	nw.queues[n] = make([]*sim.Chan, 0)
+	for _, q := range old {
+		if q == nil {
+			continue
+		}
+		for {
+			v, ok := q.TryRecv()
+			if !ok {
+				break
+			}
+			nw.dropPayload(v, true)
+		}
+	}
+	// Messages parked on partitioned links to or from n will never be
+	// wanted: deliveries to a corpse are drops, and the fail-stop model
+	// says nothing sent by the dead incarnation may surface later (a held
+	// lock-acquire delivered after the node restarts would hand a ghost
+	// request resources its sender can never use).
+	for _, lf := range fs.links {
+		kept := lf.held[:0]
+		for _, hm := range lf.held {
+			if hm.to == n || hm.from == n {
+				nw.dropPayload(hm.payload, hm.isMsg)
+				fs.stats.Dropped++
+				continue
+			}
+			kept = append(kept, hm)
+		}
+		lf.held = kept
+	}
+}
+
+// RestartNode brings a crashed node back. Its queues start empty (they were
+// replaced at crash time); state above the network (pages, threads) is the
+// upper layers' recovery problem.
+func (nw *Network) RestartNode(n int) {
+	fs := nw.mustFaults("RestartNode")
+	if n < 0 || n >= nw.n {
+		panic(fmt.Sprintf("madeleine: restart of node %d out of range [0,%d)", n, nw.n))
+	}
+	if !fs.dead[n] {
+		return
+	}
+	fs.dead[n] = false
+	fs.stats.Restarts++
+}
+
+// link returns (creating on demand) the fault state of the directed link.
+func (fs *faultState) link(from, to int) *linkFault {
+	key := linkKey{from, to}
+	lf := fs.links[key]
+	if lf == nil {
+		lf = &linkFault{}
+		fs.links[key] = lf
+	}
+	return lf
+}
+
+// PartitionLink cuts the directed link from->to.
+func (nw *Network) PartitionLink(from, to int) {
+	nw.mustFaults("PartitionLink").link(from, to).partitioned = true
+}
+
+// HealLink restores the directed link from->to, re-injecting any held
+// messages in FIFO order with their original latency charged from now.
+func (nw *Network) HealLink(from, to int) {
+	fs := nw.mustFaults("HealLink")
+	lf := fs.links[linkKey{from, to}]
+	if lf == nil || !lf.partitioned {
+		return
+	}
+	lf.partitioned = false
+	held := lf.held
+	lf.held = nil
+	now := nw.eng.Now()
+	for _, hm := range held {
+		dead := func(n int) bool { return n >= 0 && n < nw.n && fs.dead[n] }
+		if dead(hm.to) || dead(hm.from) {
+			nw.dropPayload(hm.payload, hm.isMsg)
+			fs.stats.Dropped++
+			continue
+		}
+		fs.stats.HeldTime += now.Sub(hm.heldAt)
+		// Re-inject through the occupancy clocks: a healed burst pays the
+		// same NIC/link serialization a normally-sent burst would.
+		depart := nw.departure(hm.from, hm.to, hm.size)
+		nw.eng.SchedulePush(depart.Add(hm.d), hm.q, hm.payload)
+	}
+}
+
+// SetLinkLoss makes the directed link lossy: each message is independently
+// dropped with probability dropRate and duplicated with probability dupRate.
+// Zero rates restore reliability.
+func (nw *Network) SetLinkLoss(from, to int, dropRate, dupRate float64) {
+	lf := nw.mustFaults("SetLinkLoss").link(from, to)
+	lf.dropRate = dropRate
+	lf.dupRate = dupRate
+}
+
+// dropPayload reclaims a discarded message: the network's own pooled
+// envelope is freed exactly once, and the inner payload is handed to the
+// drop handler exactly once so upper layers can reclaim their envelopes.
+// The payload-extraction order matters: FreeMessage zeroes the Message, so
+// the inner payload is captured first.
+func (nw *Network) dropPayload(payload interface{}, isMsg bool) {
+	fs := nw.faults
+	if isMsg {
+		if m, ok := payload.(*Message); ok {
+			inner := m.Payload
+			nw.FreeMessage(m)
+			payload = inner
+		}
+	}
+	if fs.onDrop != nil && payload != nil {
+		fs.onDrop(payload)
+	}
+}
+
+// intercept applies the fault model to one send and reports whether the
+// message was consumed (dropped or held). It runs before the occupancy
+// models: a message that never departs must not advance the NIC/link
+// clocks. isMsg marks payloads that are pooled *Message envelopes.
+func (nw *Network) intercept(from, to int, q *sim.Chan, payload interface{}, size int, d sim.Duration, isMsg bool) bool {
+	fs := nw.faults
+	if to >= 0 && to < nw.n && fs.dead[to] || from >= 0 && from < nw.n && fs.dead[from] {
+		fs.stats.DeadDrops++
+		nw.dropPayload(payload, isMsg)
+		return true
+	}
+	lf := fs.links[linkKey{from, to}]
+	if lf == nil {
+		return false
+	}
+	if lf.partitioned {
+		if fs.policy == PartitionDrop {
+			fs.stats.Dropped++
+			nw.dropPayload(payload, isMsg)
+			return true
+		}
+		fs.stats.Held++
+		lf.held = append(lf.held, heldMsg{
+			from: from, to: to, q: q, payload: payload, size: size,
+			d: d, isMsg: isMsg, heldAt: nw.eng.Now(),
+		})
+		return true
+	}
+	if lf.dropRate > 0 && fs.rng.Float64() < lf.dropRate {
+		fs.stats.Dropped++
+		nw.dropPayload(payload, isMsg)
+		return true
+	}
+	if lf.dupRate > 0 && isMsg && fs.rng.Float64() < lf.dupRate {
+		if m, ok := payload.(*Message); ok && fs.dup != nil {
+			if inner := fs.dup(m.Payload); inner != nil {
+				m2 := nw.getMsg()
+				*m2 = *m
+				m2.Payload = inner
+				fs.stats.Duplicated++
+				depart := nw.departure(from, to, m2.Size)
+				nw.eng.SchedulePush(depart.Add(d), q, m2)
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,220 @@
+package madeleine
+
+import (
+	"testing"
+
+	"dsmpm2/internal/sim"
+)
+
+// TestDeadNodeDropFreesOnce is the regression test for the pooled-envelope
+// discipline on the death paths: a message dropped because its destination
+// is dead must return its *Message envelope to the freelist exactly once and
+// hand its payload to the drop handler exactly once. A double Put would
+// surface as two later sends sharing one envelope.
+func TestDeadNodeDropFreesOnce(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := NewNetwork(eng, BIPMyrinet, 3)
+	nw.EnableFaults(1, PartitionQueue)
+	var dropped []interface{}
+	nw.SetDropHandler(func(p interface{}) { dropped = append(dropped, p) })
+	nw.CrashNode(1)
+
+	payloadA, payloadB := &struct{ int }{1}, &struct{ int }{2}
+	eng.Go("send", func(p *sim.Proc) {
+		nw.SendCtrl(0, 1, "ch", payloadA) // dropped: dest dead
+		nw.SendCtrl(0, 1, "ch", payloadB) // dropped: dest dead
+		// SendDirect to a dead node exercises the direct-path drop too;
+		// its payload is not a pooled Message, only the handler runs.
+		nw.SendDirect(0, 1, new(sim.Chan), 64, "direct", 0)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 3 || dropped[0] != payloadA || dropped[1] != payloadB || dropped[2] != "direct" {
+		t.Fatalf("drop handler saw %v, want exactly [payloadA payloadB direct]", dropped)
+	}
+
+	// Freelist integrity: two live sends must come out as two distinct
+	// envelopes. If the two drops above had double-freed one envelope, the
+	// freelist would now hand the same *Message out twice.
+	var got []*Message
+	eng2 := eng // same engine; network state persists
+	eng2.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			got = append(got, nw.Recv(p, 2, "live"))
+		}
+	})
+	eng2.Go("send2", func(p *sim.Proc) {
+		nw.SendCtrl(0, 2, "live", nil)
+		nw.SendCtrl(0, 2, "live", nil)
+	})
+	if err := eng2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] == got[1] {
+		t.Fatalf("freelist corrupted: two in-flight sends share one envelope (%p, %p)", got[0], got[1])
+	}
+	if st := nw.FaultStats(); st.DeadDrops != 3 {
+		t.Fatalf("DeadDrops = %d, want 3", st.DeadDrops)
+	}
+}
+
+// TestCrashPurgesQueuedMessages: messages already delivered to a node's
+// queues when it crashes are reclaimed (envelope freed, payload dropped),
+// and messages in flight at crash time land in the orphaned queues of the
+// dead incarnation, never in the restarted node's fresh queues.
+func TestCrashPurgesQueuedMessages(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := NewNetwork(eng, BIPMyrinet, 2)
+	nw.EnableFaults(1, PartitionQueue)
+	var dropped []interface{}
+	nw.SetDropHandler(func(p interface{}) { dropped = append(dropped, p) })
+
+	eng.Go("send", func(p *sim.Proc) {
+		nw.SendCtrl(0, 1, "ch", "queued") // delivered, then crash purges it
+		p.Advance(sim.Millisecond)
+		nw.SendCtrl(0, 1, "ch", "inflight") // departs; node dies before arrival
+		p.Advance(10 * sim.Microsecond)     // after departure, before delivery
+		nw.CrashNode(1)
+		p.Advance(sim.Millisecond)
+		nw.RestartNode(1)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(dropped) != 1 || dropped[0] != "queued" {
+		t.Fatalf("crash purge dropped %v, want [queued]", dropped)
+	}
+	// The in-flight message must not be receivable by the new incarnation.
+	if _, ok := nw.TryRecv(1, "ch"); ok {
+		t.Fatal("restarted node received a message sent to its dead incarnation")
+	}
+}
+
+// TestPartitionQueueHoldsAndHeals: with the queue policy, messages sent over
+// a partitioned link arrive after the heal, in order, and the held time is
+// accounted.
+func TestPartitionQueueHoldsAndHeals(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := NewNetwork(eng, BIPMyrinet, 2)
+	nw.EnableFaults(1, PartitionQueue)
+	nw.PartitionLink(0, 1)
+
+	var arrivals []sim.Time
+	var order []interface{}
+	eng.Go("recv", func(p *sim.Proc) {
+		for i := 0; i < 2; i++ {
+			m := nw.Recv(p, 1, "ch")
+			arrivals = append(arrivals, p.Now())
+			order = append(order, m.Payload)
+		}
+	})
+	healAt := sim.Time(0).Add(5 * sim.Millisecond)
+	eng.Go("send", func(p *sim.Proc) {
+		nw.SendCtrl(0, 1, "ch", "first")
+		nw.SendCtrl(0, 1, "ch", "second")
+		p.Advance(5 * sim.Millisecond)
+		nw.HealLink(0, 1)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != "first" || order[1] != "second" {
+		t.Fatalf("FIFO violated across heal: %v", order)
+	}
+	for _, at := range arrivals {
+		if at < healAt {
+			t.Fatalf("message arrived at %v, before the heal at %v", at, healAt)
+		}
+	}
+	st := nw.FaultStats()
+	if st.Held != 2 || st.HeldTime <= 0 {
+		t.Fatalf("hold accounting: %+v", st)
+	}
+}
+
+// TestCrashDropsHeldMessagesFromCorpse: a message held on a partitioned
+// link whose SENDER then crashes must never be delivered after the heal —
+// fail-stop means nothing sent by the dead incarnation surfaces later, even
+// if the sender has since restarted.
+func TestCrashDropsHeldMessagesFromCorpse(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := NewNetwork(eng, BIPMyrinet, 2)
+	nw.EnableFaults(1, PartitionQueue)
+	var dropped int
+	nw.SetDropHandler(func(interface{}) { dropped++ })
+	eng.Go("driver", func(p *sim.Proc) {
+		nw.PartitionLink(0, 1)
+		nw.SendCtrl(0, 1, "ch", "ghost") // held on the partitioned link
+		p.Advance(sim.Millisecond)
+		nw.CrashNode(0) // sender dies with its message still held
+		p.Advance(sim.Millisecond)
+		nw.RestartNode(0)
+		nw.HealLink(0, 1)
+		p.Advance(10 * sim.Millisecond)
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nw.TryRecv(1, "ch"); ok {
+		t.Fatal("a dead incarnation's held message was delivered after the heal")
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+}
+
+// TestPartitionDropPolicy: with the drop policy, partitioned traffic is
+// discarded and reclaimed.
+func TestPartitionDropPolicy(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := NewNetwork(eng, BIPMyrinet, 2)
+	nw.EnableFaults(1, PartitionDrop)
+	var dropped int
+	nw.SetDropHandler(func(interface{}) { dropped++ })
+	nw.PartitionLink(0, 1)
+	eng.Go("send", func(p *sim.Proc) {
+		nw.SendCtrl(0, 1, "ch", "lost")
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	if _, ok := nw.TryRecv(1, "ch"); ok {
+		t.Fatal("message crossed a partitioned link under the drop policy")
+	}
+}
+
+// TestLinkLossDeterministic: loss draws come from the fault layer's private
+// PRNG, so the same seed drops the same messages.
+func TestLinkLossDeterministic(t *testing.T) {
+	run := func() (delivered int) {
+		eng := sim.NewEngine(1)
+		nw := NewNetwork(eng, BIPMyrinet, 2)
+		nw.EnableFaults(99, PartitionQueue)
+		nw.SetLinkLoss(0, 1, 0.5, 0)
+		eng.Go("send", func(p *sim.Proc) {
+			for i := 0; i < 40; i++ {
+				nw.SendCtrl(0, 1, "ch", i)
+			}
+		})
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			if _, ok := nw.TryRecv(1, "ch"); !ok {
+				return delivered
+			}
+			delivered++
+		}
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed delivered %d then %d messages", a, b)
+	}
+	if a == 0 || a == 40 {
+		t.Fatalf("loss rate 0.5 delivered %d of 40 — draws not happening", a)
+	}
+}

@@ -89,6 +89,10 @@ type Network struct {
 	linkFree  map[linkKey]sim.Time
 	linkStats LinkStats
 
+	// faults is the network's fault layer: nil (and completely inert)
+	// until EnableFaults is called. See fault.go.
+	faults *faultState
+
 	// stats
 	msgs  int
 	bytes int64
@@ -245,6 +249,9 @@ func (nw *Network) SendAfter(msg *Message, d sim.Duration) {
 		msg.Chan = nw.ChannelID(msg.Channel)
 	}
 	q := nw.queue(msg.To, msg.Chan)
+	if nw.faults != nil && nw.intercept(msg.From, msg.To, q, msg, msg.Size, d, true) {
+		return
+	}
 	depart := nw.departure(msg.From, msg.To, msg.Size)
 	nw.eng.SchedulePush(depart.Add(d), q, msg)
 }
@@ -324,6 +331,9 @@ func (nw *Network) SendBulkID(from, to int, ch ChanID, size int, payload interfa
 func (nw *Network) SendDirect(from, to int, q *sim.Chan, size int, payload interface{}, d sim.Duration) {
 	nw.msgs++
 	nw.bytes += int64(size)
+	if nw.faults != nil && nw.intercept(from, to, q, payload, size, d, false) {
+		return
+	}
 	depart := nw.departure(from, to, size)
 	nw.eng.SchedulePush(depart.Add(d), q, payload)
 }

@@ -1,0 +1,85 @@
+package pm2
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/sim"
+)
+
+// TestKillNodeStopsThreadsAndRestartServes: a killed node's threads never
+// resume, its dispatchers die, and after a restart the node serves RPCs
+// again with a fresh CPU.
+func TestKillNodeStopsThreadsAndRestartServes(t *testing.T) {
+	rt := NewRuntime(Config{Nodes: 2, Seed: 1})
+	rt.EnableFaults(1, madeleine.PartitionQueue)
+	served := 0
+	rt.Node(1).Register("ping", true, func(h *Thread, arg interface{}) interface{} {
+		served++
+		return served
+	})
+	resumed := false
+	rt.CreateThread(1, "doomed", func(th *Thread) {
+		th.Advance(100 * sim.Microsecond) // killed (at ~8us) long before this expires
+		resumed = true
+	})
+	rt.CreateThread(0, "driver", func(th *Thread) {
+		if v := th.Call(1, "ping", nil, 0, 0); v != 1 {
+			t.Errorf("first call returned %v", v)
+		}
+		rt.Engine().After(0, func() { rt.KillNode(1) })
+		th.Yield()
+		if !rt.Node(1).Dead() {
+			t.Error("node 1 not dead after KillNode")
+		}
+		th.Advance(1000)
+		rt.Engine().After(0, func() { rt.RestartNode(1) })
+		th.Yield()
+		if v := th.Call(1, "ping", nil, 0, 0); v != 2 {
+			t.Errorf("post-restart call returned %v", v)
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if resumed {
+		t.Fatal("thread on the killed node resumed")
+	}
+	if rt.Node(1).Restarts != 1 {
+		t.Fatalf("Restarts = %d, want 1", rt.Node(1).Restarts)
+	}
+}
+
+// TestDroppedRPCReclaimsEnvelopeOnce is the pm2 half of the double-free
+// regression: an Async invocation dropped at a dead node must return its
+// rpcReq envelope to the freelist exactly once. A double Put would hand one
+// envelope to two later invocations, crossing their arguments.
+func TestDroppedRPCReclaimsEnvelopeOnce(t *testing.T) {
+	rt := NewRuntime(Config{Nodes: 3, Seed: 1})
+	rt.EnableFaults(1, madeleine.PartitionQueue)
+	var seen []interface{}
+	rt.Node(2).Register("sink", false, func(h *Thread, arg interface{}) interface{} {
+		seen = append(seen, arg)
+		return nil
+	})
+	rt.CreateThread(0, "driver", func(th *Thread) {
+		rt.Engine().After(0, func() { rt.KillNode(1) })
+		th.Yield()
+		// Two invocations at the corpse: both envelopes reclaimed.
+		th.Async(1, "sink", "dead-a", 0)
+		th.Async(1, "sink", "dead-b", 0)
+		// Two live invocations: if an envelope had been double-freed, these
+		// two would share one and the second send's argument would clobber
+		// the first before its dispatch.
+		th.Async(2, "sink", "live-a", 0)
+		th.Async(2, "sink", "live-b", 0)
+		th.Advance(1000 * sim.Microsecond)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(seen) != "[live-a live-b]" {
+		t.Fatalf("sink saw %v, want [live-a live-b]", seen)
+	}
+}

@@ -77,15 +77,22 @@ func (n *Node) Register(name string, threaded bool, h Handler) {
 		node:     n,
 	}
 	n.services[name] = svc
+	n.svcOrder = append(n.svcOrder, name)
+	n.spawnDispatcher(svc)
+}
 
-	dispatcher := n.rt.CreateThread(n.ID, fmt.Sprintf("rpcd:%s@%d", name, n.ID), func(t *Thread) {
+// spawnDispatcher starts the daemon thread that receives a service's
+// requests. It runs once at registration and again each time a crashed node
+// restarts (the crash killed the previous dispatcher).
+func (n *Node) spawnDispatcher(svc *service) {
+	dispatcher := n.rt.CreateThread(n.ID, fmt.Sprintf("rpcd:%s@%d", svc.name, n.ID), func(t *Thread) {
 		for {
 			msg := n.rt.net.RecvID(t.proc, n.ID, svc.chanID)
 			req := msg.Payload.(*rpcReq)
 			n.rt.net.FreeMessage(msg)
 			if svc.threaded {
 				n.HandlersSpawned++
-				n.rt.CreateThread(n.ID, fmt.Sprintf("rpch:%s@%d", name, n.ID), func(ht *Thread) {
+				n.rt.CreateThread(n.ID, fmt.Sprintf("rpch:%s@%d", svc.name, n.ID), func(ht *Thread) {
 					svc.run(ht, req)
 				})
 			} else {

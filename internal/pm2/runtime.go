@@ -23,6 +23,7 @@ type Runtime struct {
 	eng   *sim.Engine
 	net   *madeleine.Network
 	nodes []*Node
+	cpus  int // CPUs per node, kept for rebuilding a restarted node's CPU
 
 	nextThread int
 	threads    []*Thread
@@ -75,6 +76,7 @@ func NewRuntime(cfg Config) *Runtime {
 	rt := &Runtime{
 		eng:    eng,
 		net:    madeleine.NewNetworkTopology(eng, topo, cfg.Nodes),
+		cpus:   cfg.CPUsPerNode,
 		svcIDs: make(map[string]madeleine.ChanID),
 	}
 	rt.net.SetLinkContention(cfg.LinkContention)
@@ -134,12 +136,19 @@ type Node struct {
 	CPU *sim.Resource
 
 	services map[string]*service
+	// svcOrder lists service names in registration order, so a restarted
+	// node respawns its dispatchers deterministically.
+	svcOrder []string
+
+	// dead marks a crashed node (see fault.go).
+	dead bool
 
 	// Stats
 	ThreadsSpawned  int
 	MigrationsIn    int
 	MigrationsOut   int
 	HandlersSpawned int
+	Restarts        int
 }
 
 // Runtime returns the machine this node belongs to.

@@ -59,7 +59,7 @@ func (rt *Runtime) CreateThreadStack(node int, name string, stack int, fn func(t
 	if stack <= 0 {
 		stack = DefaultStackSize
 	}
-	rt.Node(node) // validate
+	rt.Node(node).checkAlive("CreateThread") // validate
 	rt.nextThread++
 	t := &Thread{
 		rt:          rt,

@@ -1,0 +1,399 @@
+package protocols
+
+// Cross-protocol conformance suite: a shared table of application-shaped
+// scenarios (jacobi stencil, mapcolor-style branch & bound, hotspot counter,
+// producer/consumer) runs over EVERY registered protocol × every topology
+// class, and the final shared-memory contents must match a single-node
+// sequential oracle. The protocol list comes from the registry, so a newly
+// registered protocol is covered automatically — if it cannot keep these
+// four sharing patterns coherent, this suite is where it fails first.
+//
+// Scenarios access shared data through the object primitives (Get/Put),
+// which route through a protocol's inline-check machinery when it has one
+// (java_ic, java_pf) and fall back to the paged access path everywhere
+// else — the one access style every protocol supports.
+
+import (
+	"fmt"
+	"testing"
+
+	"dsmpm2/internal/core"
+	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/pm2"
+)
+
+// conformanceNodes is the cluster size every scenario runs on.
+const conformanceNodes = 4
+
+// topoCase is one interconnect class the suite sweeps.
+type topoCase struct {
+	name string
+	make func() madeleine.Topology
+}
+
+func conformanceTopologies(short bool) []topoCase {
+	topos := []topoCase{
+		{"Uniform", func() madeleine.Topology { return madeleine.NewUniform(madeleine.BIPMyrinet) }},
+	}
+	if short {
+		return topos
+	}
+	return append(topos,
+		topoCase{"Hierarchical", func() madeleine.Topology {
+			return madeleine.NewHierarchical(
+				madeleine.EvenClusters(conformanceNodes, 2),
+				madeleine.SISCISCI, madeleine.TCPFastEthernet)
+		}},
+		topoCase{"LinkMatrix", func() madeleine.Topology {
+			return madeleine.NewLinkMatrix(madeleine.BIPMyrinet).
+				SetDuplex(0, conformanceNodes-1, madeleine.TCPFastEthernet).
+				SetDuplex(1, 2, madeleine.SISCISCI)
+		}},
+	)
+}
+
+// scenario is one shared workload: run drives the cluster, oracle computes
+// the expected final state sequentially; both return the values the suite
+// compares (read back through the DSM itself, so what is checked is the
+// final page contents as any node would observe them).
+type scenario struct {
+	name   string
+	oracle func() []uint64
+	run    func(t *testing.T, rt *pm2.Runtime, d *core.DSM) []uint64
+}
+
+// conformanceHarness builds a machine over topo with all built-ins
+// registered and proto as default.
+func conformanceHarness(t *testing.T, topo madeleine.Topology, proto string) (*pm2.Runtime, *core.DSM) {
+	t.Helper()
+	rt := pm2.NewRuntime(pm2.Config{Nodes: conformanceNodes, Topology: topo, Seed: 42})
+	reg, _ := NewRegistry()
+	d := core.New(rt, reg, core.DefaultCosts())
+	id, ok := reg.Lookup(proto)
+	if !ok {
+		t.Fatalf("protocol %q not registered", proto)
+	}
+	d.SetDefaultProtocol(id)
+	return rt, d
+}
+
+// --- scenario: jacobi -------------------------------------------------------
+
+const (
+	jacN     = 8 // interior grid dimension
+	jacIters = 3
+)
+
+func jacobiOracle() []uint64 {
+	cur := make([][]float64, jacN+2)
+	next := make([][]float64, jacN+2)
+	for i := range cur {
+		cur[i] = make([]float64, jacN+2)
+		next[i] = make([]float64, jacN+2)
+		for j := range cur[i] {
+			if i == 0 {
+				cur[i][j] = 100
+				next[i][j] = 100
+			}
+		}
+	}
+	for it := 0; it < jacIters; it++ {
+		for i := 1; i <= jacN; i++ {
+			for j := 1; j <= jacN; j++ {
+				next[i][j] = 0.25 * (cur[i-1][j] + cur[i+1][j] + cur[i][j-1] + cur[i][j+1])
+			}
+		}
+		cur, next = next, cur
+	}
+	out := make([]uint64, 0, jacN*jacN)
+	for i := 1; i <= jacN; i++ {
+		for j := 1; j <= jacN; j++ {
+			out = append(out, uint64(cur[i][j]*1e6)) // fixed-point to stay integral
+		}
+	}
+	return out
+}
+
+func jacobiRun(t *testing.T, rt *pm2.Runtime, d *core.DSM) []uint64 {
+	rowBytes := (jacN + 2) * 8
+	ownerOf := func(row int) int {
+		if row == 0 {
+			return 0
+		}
+		if row == jacN+1 {
+			return conformanceNodes - 1
+		}
+		return (row - 1) * conformanceNodes / jacN
+	}
+	grids := [2][]core.Addr{make([]core.Addr, jacN+2), make([]core.Addr, jacN+2)}
+	for g := 0; g < 2; g++ {
+		for row := 0; row <= jacN+1; row++ {
+			grids[g][row] = d.MustMalloc(ownerOf(row), rowBytes, nil)
+		}
+	}
+	// Fixed-point arithmetic (1e-6 units) keeps every cell integral, so
+	// page contents compare exactly.
+	bar := d.NewBarrier(conformanceNodes)
+	for node := 0; node < conformanceNodes; node++ {
+		node := node
+		rt.CreateThread(node, fmt.Sprintf("jac%d", node), func(th *pm2.Thread) {
+			// Init own rows of both grids.
+			for g := 0; g < 2; g++ {
+				for row := 0; row <= jacN+1; row++ {
+					if ownerOf(row) != node {
+						continue
+					}
+					v := uint64(0)
+					if row == 0 {
+						v = 100 * 1e6
+					}
+					for j := 0; j <= jacN+1; j++ {
+						d.PutUint64(th, grids[g][row]+core.Addr(8*j), v)
+					}
+				}
+			}
+			d.Barrier(th, bar)
+			cur, next := 0, 1
+			for it := 0; it < jacIters; it++ {
+				for row := 1; row <= jacN; row++ {
+					if ownerOf(row) != node {
+						continue
+					}
+					for j := 1; j <= jacN; j++ {
+						a := d.GetUint64(th, grids[cur][row-1]+core.Addr(8*j))
+						b := d.GetUint64(th, grids[cur][row+1]+core.Addr(8*j))
+						c := d.GetUint64(th, grids[cur][row]+core.Addr(8*(j-1)))
+						e := d.GetUint64(th, grids[cur][row]+core.Addr(8*(j+1)))
+						d.PutUint64(th, grids[next][row]+core.Addr(8*j), (a+b+c+e)/4)
+					}
+				}
+				d.Barrier(th, bar)
+				cur, next = next, cur
+			}
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	final := jacIters % 2
+	return readBack(t, rt, d, func(th *pm2.Thread) []uint64 {
+		out := make([]uint64, 0, jacN*jacN)
+		for i := 1; i <= jacN; i++ {
+			for j := 1; j <= jacN; j++ {
+				out = append(out, d.GetUint64(th, grids[final][i]+core.Addr(8*j)))
+			}
+		}
+		return out
+	})
+}
+
+// --- scenario: mapcolor -----------------------------------------------------
+
+// A branch-and-bound reduction in the shape of the map-coloring search:
+// every node evaluates a deterministic slice of candidate assignments and
+// races to improve the shared best cost under a lock.
+
+const mcCandidates = 64
+
+func mcCost(i int) uint64 {
+	x := uint64(i)*2654435761 + 97
+	return x % 1000
+}
+
+func mapcolorOracle() []uint64 {
+	best, arg := ^uint64(0), uint64(0)
+	for i := 0; i < mcCandidates; i++ {
+		if c := mcCost(i); c < best {
+			best, arg = c, uint64(i)
+		}
+	}
+	return []uint64{best, arg}
+}
+
+func mapcolorRun(t *testing.T, rt *pm2.Runtime, d *core.DSM) []uint64 {
+	base := d.MustMalloc(0, 16, nil) // [best, argbest]
+	lock := d.NewLock(0)
+	rt.CreateThread(0, "mcinit", func(th *pm2.Thread) {
+		d.PutUint64(th, base, ^uint64(0))
+		d.PutUint64(th, base+8, 0)
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for node := 0; node < conformanceNodes; node++ {
+		node := node
+		rt.CreateThread(node, fmt.Sprintf("mc%d", node), func(th *pm2.Thread) {
+			for i := node; i < mcCandidates; i += conformanceNodes {
+				c := mcCost(i)
+				d.Acquire(th, lock)
+				if c < d.GetUint64(th, base) {
+					d.PutUint64(th, base, c)
+					d.PutUint64(th, base+8, uint64(i))
+				}
+				d.Release(th, lock)
+			}
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return readBack(t, rt, d, func(th *pm2.Thread) []uint64 {
+		d.Acquire(th, lock)
+		defer d.Release(th, lock)
+		return []uint64{d.GetUint64(th, base), d.GetUint64(th, base+8)}
+	})
+}
+
+// --- scenario: hotspot ------------------------------------------------------
+
+// Every node hammers one shared counter page under a lock — the classic
+// hotspot — and also signs a private slot on the same page, so both the
+// contended word and the surrounding page contents are checked.
+
+const hotIncr = 12
+
+func hotspotOracle() []uint64 {
+	out := []uint64{conformanceNodes * hotIncr}
+	for n := 0; n < conformanceNodes; n++ {
+		out = append(out, uint64(1000+n*n))
+	}
+	return out
+}
+
+func hotspotRun(t *testing.T, rt *pm2.Runtime, d *core.DSM) []uint64 {
+	base := d.MustMalloc(0, 8*(conformanceNodes+1), nil)
+	lock := d.NewLock(conformanceNodes - 1) // manager away from the home
+	for node := 0; node < conformanceNodes; node++ {
+		node := node
+		rt.CreateThread(node, fmt.Sprintf("hot%d", node), func(th *pm2.Thread) {
+			for i := 0; i < hotIncr; i++ {
+				d.Acquire(th, lock)
+				d.PutUint64(th, base, d.GetUint64(th, base)+1)
+				d.Release(th, lock)
+			}
+			d.Acquire(th, lock)
+			d.PutUint64(th, base+core.Addr(8*(node+1)), uint64(1000+node*node))
+			d.Release(th, lock)
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return readBack(t, rt, d, func(th *pm2.Thread) []uint64 {
+		d.Acquire(th, lock)
+		defer d.Release(th, lock)
+		out := []uint64{d.GetUint64(th, base)}
+		for n := 0; n < conformanceNodes; n++ {
+			out = append(out, d.GetUint64(th, base+core.Addr(8*(n+1))))
+		}
+		return out
+	})
+}
+
+// --- scenario: producer/consumer --------------------------------------------
+
+// A producer on node 0 streams items through a one-slot shared mailbox to a
+// consumer on the last node, synchronized with a DSM lock and condition
+// variables; the consumer publishes its running sum back through shared
+// memory.
+
+const pcItems = 16
+
+func pcValue(i int) uint64 { return uint64(i)*31 + 7 }
+
+func prodconsOracle() []uint64 {
+	sum := uint64(0)
+	for i := 0; i < pcItems; i++ {
+		sum += pcValue(i)
+	}
+	return []uint64{sum, pcItems}
+}
+
+func prodconsRun(t *testing.T, rt *pm2.Runtime, d *core.DSM) []uint64 {
+	// Layout: [full flag, item, sum, count]
+	base := d.MustMalloc(0, 32, nil)
+	lock := d.NewLock(0)
+	notFull := d.NewCond(lock)
+	notEmpty := d.NewCond(lock)
+	rt.CreateThread(0, "producer", func(th *pm2.Thread) {
+		for i := 0; i < pcItems; i++ {
+			d.Acquire(th, lock)
+			for d.GetUint64(th, base) != 0 {
+				d.CondWait(th, notFull)
+			}
+			d.PutUint64(th, base+8, pcValue(i))
+			d.PutUint64(th, base, 1)
+			d.CondSignal(th, notEmpty)
+			d.Release(th, lock)
+		}
+	})
+	rt.CreateThread(conformanceNodes-1, "consumer", func(th *pm2.Thread) {
+		for i := 0; i < pcItems; i++ {
+			d.Acquire(th, lock)
+			for d.GetUint64(th, base) == 0 {
+				d.CondWait(th, notEmpty)
+			}
+			v := d.GetUint64(th, base+8)
+			d.PutUint64(th, base, 0)
+			d.PutUint64(th, base+16, d.GetUint64(th, base+16)+v)
+			d.PutUint64(th, base+24, d.GetUint64(th, base+24)+1)
+			d.CondSignal(th, notFull)
+			d.Release(th, lock)
+		}
+	})
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return readBack(t, rt, d, func(th *pm2.Thread) []uint64 {
+		d.Acquire(th, lock)
+		defer d.Release(th, lock)
+		return []uint64{d.GetUint64(th, base+16), d.GetUint64(th, base+24)}
+	})
+}
+
+// readBack collects the scenario's final shared values from a fresh thread
+// on node 1 (never the home of anything above), so the comparison crosses
+// the protocol's read path one more time.
+func readBack(t *testing.T, rt *pm2.Runtime, d *core.DSM, read func(*pm2.Thread) []uint64) []uint64 {
+	t.Helper()
+	var out []uint64
+	rt.CreateThread(1, "readback", func(th *pm2.Thread) { out = read(th) })
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestConformance sweeps scenarios × protocols × topologies. In -short mode
+// only the uniform topology runs (the CI race job uses this subset).
+func TestConformance(t *testing.T) {
+	scenarios := []scenario{
+		{"jacobi", jacobiOracle, jacobiRun},
+		{"mapcolor", mapcolorOracle, mapcolorRun},
+		{"hotspot", hotspotOracle, hotspotRun},
+		{"prodcons", prodconsOracle, prodconsRun},
+	}
+	reg, _ := NewRegistry()
+	protocols := reg.Names()
+	for _, topo := range conformanceTopologies(testing.Short()) {
+		for _, proto := range protocols {
+			for _, sc := range scenarios {
+				name := fmt.Sprintf("%s/%s/%s", topo.name, proto, sc.name)
+				t.Run(name, func(t *testing.T) {
+					rt, d := conformanceHarness(t, topo.make(), proto)
+					got := sc.run(t, rt, d)
+					want := sc.oracle()
+					if len(got) != len(want) {
+						t.Fatalf("read %d values, oracle has %d", len(got), len(want))
+					}
+					for i := range want {
+						if got[i] != want[i] {
+							t.Fatalf("value %d = %d, oracle says %d (full: got %v want %v)",
+								i, got[i], want[i], got, want)
+						}
+					}
+				})
+			}
+		}
+	}
+}

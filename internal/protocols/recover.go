@@ -1,0 +1,39 @@
+package protocols
+
+import "dsmpm2/internal/core"
+
+// core.Recoverable implementations for the built-in protocols that keep
+// protocol-private per-node state: when a node fail-stops, its dirty-page
+// sets and fault counters die with it, and a restarted incarnation must
+// start clean — a stale dirty mark would make the first release sweep pages
+// the new incarnation never wrote.
+
+// OnNodeCrash discards the crashed node's dirty set.
+func (p *hbrcMW) OnNodeCrash(node int) { p.dirty[node] = make(map[core.Page]bool) }
+
+// OnNodeRestart starts the restarted node with a clean dirty set.
+func (p *hbrcMW) OnNodeRestart(node int) { p.dirty[node] = make(map[core.Page]bool) }
+
+// OnNodeCrash discards the crashed node's dirty set.
+func (p *java) OnNodeCrash(node int) { p.dirty[node] = make(map[core.Page]bool) }
+
+// OnNodeRestart starts the restarted node with a clean dirty set.
+func (p *java) OnNodeRestart(node int) { p.dirty[node] = make(map[core.Page]bool) }
+
+// OnNodeCrash discards the crashed node's dirty set.
+func (p *entryMW) OnNodeCrash(node int) { p.dirty[node] = make(map[core.Page]bool) }
+
+// OnNodeRestart starts the restarted node with a clean dirty set.
+func (p *entryMW) OnNodeRestart(node int) { p.dirty[node] = make(map[core.Page]bool) }
+
+// OnNodeCrash discards the crashed node's dirty set.
+func (p *ercSW) OnNodeCrash(node int) { p.dirty[node] = make(map[core.Page]bool) }
+
+// OnNodeRestart starts the restarted node with a clean dirty set.
+func (p *ercSW) OnNodeRestart(node int) { p.dirty[node] = make(map[core.Page]bool) }
+
+// OnNodeCrash discards the crashed node's write-fault counters.
+func (p *adaptive) OnNodeCrash(node int) { p.writeFaults[node] = make(map[core.Page]int) }
+
+// OnNodeRestart starts the restarted node with fresh write-fault counters.
+func (p *adaptive) OnNodeRestart(node int) { p.writeFaults[node] = make(map[core.Page]int) }

@@ -45,3 +45,24 @@ func (f *fifo[T]) drain(fn func(T)) {
 		fn(f.pop())
 	}
 }
+
+// removeFunc deletes the first element matching pred, preserving FIFO order
+// of the rest, and reports whether one was removed. It is O(n) — used only
+// on the rare timeout/fault paths, never on the kernel's hot paths.
+func (f *fifo[T]) removeFunc(pred func(T) bool) bool {
+	for i := f.head; i < len(f.q); i++ {
+		if !pred(f.q[i]) {
+			continue
+		}
+		copy(f.q[i:], f.q[i+1:])
+		var zero T
+		f.q[len(f.q)-1] = zero
+		f.q = f.q[:len(f.q)-1]
+		if f.head == len(f.q) {
+			f.q = f.q[:0]
+			f.head = 0
+		}
+		return true
+	}
+	return false
+}

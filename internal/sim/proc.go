@@ -126,6 +126,35 @@ func (p *Proc) Park(reason string) {
 	delete(p.eng.parked, p)
 }
 
+// Kill fail-stops the proc: it never runs again. Pending wake records for it
+// are skipped by the dispatcher, and the synchronization primitives skip dead
+// procs when granting mutexes, semaphore units, signals or messages, so
+// killing a parked proc cannot strand a resource on it. Kill must be called
+// from engine context or another proc — a proc cannot kill itself (it would
+// still hold the simulation token).
+//
+// The killed proc's goroutine stays parked on its wake channel for the rest
+// of the process — a deliberate leak of one small stack per kill. Forcing an
+// exit (runtime.Goexit after a final wake) would run the proc's deferred
+// calls concurrently with the simulation, without the token, which is far
+// worse than the bounded memory cost of a fault experiment's kills.
+func (p *Proc) Kill() {
+	if p.dead {
+		return
+	}
+	if p.eng.cur == p {
+		panic(fmt.Sprintf("sim: proc %q killing itself", p.name))
+	}
+	p.dead = true
+	if !p.daemon {
+		p.eng.nlive--
+	}
+	delete(p.eng.parked, p)
+}
+
+// Dead reports whether the proc has finished or been killed.
+func (p *Proc) Dead() bool { return p.dead }
+
 // Unpark schedules p to resume at the current virtual time. It may be called
 // from any simulation context (another proc or an engine event callback). It
 // is an error to unpark a proc that is not parked; the kernel does not check

@@ -39,18 +39,22 @@ func (m *Mutex) TryLock(p *Proc) bool {
 	return false
 }
 
-// Unlock releases m. It panics if p does not own the mutex.
+// Unlock releases m. It panics if p does not own the mutex. Waiters killed
+// while queued are skipped, so a fault cannot strand the lock on a dead proc.
 func (m *Mutex) Unlock(p *Proc) {
 	if m.owner != p {
 		panic(fmt.Sprintf("sim: proc %q unlocking mutex owned by %v", p.name, ownerName(m.owner)))
 	}
-	if m.waiters.len() == 0 {
-		m.owner = nil
+	for m.waiters.len() > 0 {
+		next := m.waiters.pop()
+		if next.dead {
+			continue
+		}
+		m.owner = next
+		next.Unpark()
 		return
 	}
-	next := m.waiters.pop()
-	m.owner = next
-	next.Unpark()
+	m.owner = nil
 }
 
 // Locked reports whether the mutex is currently held.
@@ -83,17 +87,47 @@ func (c *Cond) Wait(p *Proc) {
 	c.L.Lock(p)
 }
 
-// Signal wakes the oldest waiter, if any.
+// Signal wakes the oldest live waiter, if any; dead waiters are discarded
+// so a signal is never consumed by a killed proc.
 func (c *Cond) Signal() {
-	if c.waiters.len() == 0 {
-		return
+	for c.waiters.len() > 0 {
+		if w := c.waiters.pop(); !w.dead {
+			w.Unpark()
+			return
+		}
 	}
-	c.waiters.pop().Unpark()
 }
 
-// Broadcast wakes all waiters.
+// Broadcast wakes all live waiters.
 func (c *Cond) Broadcast() {
-	c.waiters.drain(func(w *Proc) { w.Unpark() })
+	c.waiters.drain(func(w *Proc) {
+		if !w.dead {
+			w.Unpark()
+		}
+	})
+}
+
+// WaitTimeout is Wait with a deadline: it re-acquires the lock and returns
+// true if the proc was signalled within d, false if the wait timed out.
+// Like Wait, callers must re-check their predicate in a loop — and, because
+// a stale timer from an earlier wait can cause a spurious wake, callers
+// using WaitTimeout repeatedly on one condition must tolerate early returns
+// that report a timeout which did not consume a signal.
+func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
+	timedOut := false
+	c.waiters.push(p)
+	p.eng.After(d, func() {
+		if c.waiters.removeFunc(func(w *Proc) bool { return w == p }) {
+			timedOut = true
+			if !p.dead {
+				p.Unpark()
+			}
+		}
+	})
+	c.L.Unlock(p)
+	p.Park("cond wait (timed)")
+	c.L.Lock(p)
+	return !timedOut
 }
 
 // Semaphore is a counting semaphore with FIFO wakeups. A semaphore with n
@@ -117,12 +151,15 @@ func (s *Semaphore) Acquire(p *Proc) {
 	p.Park("semaphore acquire")
 }
 
-// Release returns one unit, waking the oldest waiter if any. A release with
-// waiters present hands the unit directly to the waiter.
+// Release returns one unit, waking the oldest live waiter if any. A release
+// with waiters present hands the unit directly to the waiter; dead waiters
+// are discarded so a fault cannot leak a unit to a killed proc.
 func (s *Semaphore) Release() {
-	if s.waiters.len() > 0 {
-		s.waiters.pop().Unpark()
-		return
+	for s.waiters.len() > 0 {
+		if w := s.waiters.pop(); !w.dead {
+			w.Unpark()
+			return
+		}
 	}
 	s.avail++
 }
@@ -205,12 +242,15 @@ type Chan struct {
 	waiters procQueue
 }
 
-// Push appends v and wakes one waiting receiver. Push may be called from any
-// simulation context, including engine event callbacks.
+// Push appends v and wakes one waiting live receiver. Push may be called
+// from any simulation context, including engine event callbacks.
 func (c *Chan) Push(v interface{}) {
 	c.q.push(v)
-	if c.waiters.len() > 0 {
-		c.waiters.pop().Unpark()
+	for c.waiters.len() > 0 {
+		if w := c.waiters.pop(); !w.dead {
+			w.Unpark()
+			return
+		}
 	}
 }
 
@@ -222,6 +262,38 @@ func (c *Chan) Recv(p *Proc) interface{} {
 		p.Park("chan recv")
 	}
 	return c.q.pop()
+}
+
+// RecvTimeout is Recv with a deadline: it returns (message, true) when one
+// arrives within d of virtual time, or (nil, false) on timeout. It is meant
+// for private single-receiver channels (RPC replies, invalidation acks); with
+// several receivers on one channel a stale timer can surface as a spurious
+// timeout, which callers must treat as a hint to re-check and retry.
+func (c *Chan) RecvTimeout(p *Proc, d Duration) (interface{}, bool) {
+	if c.q.len() > 0 {
+		return c.q.pop(), true
+	}
+	timedOut := false
+	c.waiters.push(p)
+	p.eng.After(d, func() {
+		if c.waiters.removeFunc(func(w *Proc) bool { return w == p }) {
+			timedOut = true
+			if !p.dead {
+				p.Unpark()
+			}
+		}
+	})
+	p.Park("chan recv (timed)")
+	for c.q.len() == 0 {
+		if timedOut {
+			return nil, false
+		}
+		// Woken by a Push whose message another receiver consumed: wait
+		// again; the armed timer is still pending and bounds the wait.
+		c.waiters.push(p)
+		p.Park("chan recv (timed)")
+	}
+	return c.q.pop(), true
 }
 
 // TryRecv removes and returns the oldest message without blocking. The
