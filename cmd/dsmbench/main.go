@@ -14,6 +14,14 @@
 //	dsmbench -exp contention   # link bandwidth occupancy: queueing delay
 //	dsmbench -exp kernel       # simulator wall-clock efficiency (events/sec)
 //	dsmbench -exp faults       # crash/restart fault plans on restart-aware jacobi
+//	dsmbench -exp comm         # batched vs unbatched communication path
+//
+// The comm experiment (excluded from "all", like kernel) runs jacobi,
+// matmul and lu at 16-64 nodes on both communication paths and reports the
+// wire accounting: messages, bytes and envelopes (a multi-part batch counts
+// as one envelope), the DSM module's own counters, and the TimingLog.ByLink
+// summaries. With -json it writes the committed BENCH_comm.json snapshot.
+// All numbers are virtual-time exact and deterministic per seed.
 //
 // The faults experiment (excluded from "all", like kernel) runs the
 // restart-aware jacobi kernel under a declarative fault plan and reports,
@@ -171,6 +179,13 @@ func realMain() (code int) {
 		if err := faults(*faultPlanPath, *mtbf, *repair, *faultSeed,
 			*faultProtos, *nodes, *clusters, *intra, *inter, *jsonOut); err != nil {
 			log.Printf("faults: %v", err)
+			return 1
+		}
+	}
+	if *exp == "comm" { // explicit opt-in, not part of "all"
+		any = true
+		if err := comm(*jsonOut); err != nil {
+			log.Printf("comm: %v", err)
 			return 1
 		}
 	}
@@ -450,6 +465,64 @@ func kernel(writeJSON bool) error {
 		return fmt.Errorf("-json: %w", err)
 	}
 	fmt.Printf("wrote %s\n", benchKernelFile)
+	return nil
+}
+
+// benchCommFile is the wire-accounting snapshot the comm experiment writes
+// with -json.
+const benchCommFile = "BENCH_comm.json"
+
+// commSnapshot is the BENCH_comm.json document.
+type commSnapshot struct {
+	Experiment string             `json:"experiment"`
+	Results    []bench.CommResult `json:"results"`
+}
+
+// comm compares the batched and unbatched communication paths across the
+// barrier-phased applications at cluster scale.
+func comm(writeJSON bool) error {
+	header("Comm: batched vs unbatched communication path (virtual-time exact)")
+	results := bench.CommSuite()
+	fmt.Printf("%-10s %6s %9s %10s %10s %9s %8s %8s %8s %8s %12s\n",
+		"app", "nodes", "path", "messages", "envelopes", "syncenv", "invals", "acks", "diffs", "notices", "elapsed(ms)")
+	path := func(batched bool) string {
+		if batched {
+			return "batched"
+		}
+		return "unbatched"
+	}
+	byKey := map[string]bench.CommResult{}
+	for _, r := range results {
+		byKey[fmt.Sprintf("%s/%d/%v", r.App, r.Nodes, r.Batched)] = r
+		fmt.Printf("%-10s %6d %9s %10d %10d %9d %8d %8d %8d %8d %12.2f\n",
+			r.App, r.Nodes, path(r.Batched), r.Messages, r.Envelopes, r.SyncEnvelopes,
+			r.Invalidations, r.InvAcks, r.DiffsSent, r.Notices, r.VirtualMS)
+	}
+	if b, u := byKey["jacobi/64/true"], byKey["jacobi/64/false"]; b.SyncEnvelopes > 0 {
+		fmt.Printf("jacobi 64-node barrier-phase envelope reduction: %.2fx (%d -> %d); total %.2fx (%d -> %d); elapsed %.2f -> %.2f ms\n",
+			float64(u.SyncEnvelopes)/float64(b.SyncEnvelopes), u.SyncEnvelopes, b.SyncEnvelopes,
+			float64(u.Envelopes)/float64(b.Envelopes), u.Envelopes, b.Envelopes,
+			u.VirtualMS, b.VirtualMS)
+	}
+	fmt.Println("(envelopes = wire departures, a multi-part batch counting once; syncenv")
+	fmt.Println(" excludes the page-fetch pairs no batching can remove. The batched jacobi")
+	fmt.Println(" rows show zero invalidation envelopes: the barrier's write notices carry")
+	fmt.Println(" the invalidation information for free)")
+	if !writeJSON {
+		return nil
+	}
+	snap := commSnapshot{Experiment: "comm", Results: results}
+	f, err := os.Create(benchCommFile)
+	if err != nil {
+		return fmt.Errorf("-json: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&snap); err != nil {
+		return fmt.Errorf("-json: %w", err)
+	}
+	fmt.Printf("wrote %s\n", benchCommFile)
 	return nil
 }
 

@@ -105,6 +105,12 @@ type Config struct {
 	// overlapping for free. Off by default, matching the paper's
 	// single-message calibration.
 	LinkContention bool
+	// UnbatchedComm disables the batched communication path: release-time
+	// invalidations and diffs go out one envelope per operation (the
+	// historical wire pattern) instead of one multi-part envelope per
+	// destination, and barriers carry no write notices. Off by default;
+	// keep it selectable for A/B comparison (`dsmbench -exp comm`).
+	UnbatchedComm bool
 	// Protocol names the default consistency protocol (default
 	// "li_hudak"); see ProtocolNames for the list.
 	Protocol string
@@ -159,6 +165,7 @@ func New(cfg Config) (*System, error) {
 	})
 	reg, ids := protocols.NewRegistry()
 	d := core.New(rt, reg, core.DefaultCosts())
+	d.SetBatching(!cfg.UnbatchedComm)
 	s := &System{rt: rt, dsm: d, ids: ids}
 	if cfg.Trace {
 		s.tr = trace.NewLog()

@@ -36,6 +36,9 @@ type Config struct {
 	Seed int64
 	// CellCost is the CPU cost charged per cell update.
 	CellCost dsmpm2.Duration
+	// Unbatched selects the one-envelope-per-operation communication path
+	// (A/B baseline for the comm experiment).
+	Unbatched bool
 
 	// FaultPlan, when set, selects the restart-aware variant of the
 	// kernel: all grid pages are homed on node 0 (a home-based protocol
@@ -117,11 +120,12 @@ func Run(cfg Config) (Result, error) {
 		cfg.CellCost = 100 // 0.1us per cell
 	}
 	sys, err := dsmpm2.New(dsmpm2.Config{
-		Nodes:    cfg.Nodes,
-		Network:  cfg.Network,
-		Topology: cfg.Topology,
-		Protocol: cfg.Protocol,
-		Seed:     cfg.Seed,
+		Nodes:         cfg.Nodes,
+		Network:       cfg.Network,
+		Topology:      cfg.Topology,
+		Protocol:      cfg.Protocol,
+		Seed:          cfg.Seed,
+		UnbatchedComm: cfg.Unbatched,
 	})
 	if err != nil {
 		return Result{}, err

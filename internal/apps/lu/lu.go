@@ -30,6 +30,9 @@ type Config struct {
 	Seed int64
 	// OpCost is the CPU cost charged per row update.
 	OpCost dsmpm2.Duration
+	// Unbatched selects the one-envelope-per-operation communication path
+	// (A/B baseline for the comm experiment).
+	Unbatched bool
 }
 
 // Result reports a run's outcome.
@@ -37,6 +40,7 @@ type Result struct {
 	Checksum float64
 	Elapsed  dsmpm2.Time
 	Stats    dsmpm2.Stats
+	System   *dsmpm2.System
 }
 
 // Matrix builds the deterministic random input matrix for a seed. It is
@@ -89,10 +93,11 @@ func Run(cfg Config) (Result, error) {
 		cfg.OpCost = 500 * dsmpm2.Nanosecond
 	}
 	sys, err := dsmpm2.New(dsmpm2.Config{
-		Nodes:    cfg.Nodes,
-		Network:  cfg.Network,
-		Protocol: cfg.Protocol,
-		Seed:     cfg.Seed,
+		Nodes:         cfg.Nodes,
+		Network:       cfg.Network,
+		Protocol:      cfg.Protocol,
+		Seed:          cfg.Seed,
+		UnbatchedComm: cfg.Unbatched,
 	})
 	if err != nil {
 		return Result{}, err
@@ -157,7 +162,7 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 
-	res := Result{Elapsed: sys.Now(), Stats: sys.Stats()}
+	res := Result{Elapsed: sys.Now(), Stats: sys.Stats(), System: sys}
 	sys.Spawn(0, "checksum", func(t *dsmpm2.Thread) {
 		out := make([][]float64, n)
 		for i := 0; i < n; i++ {

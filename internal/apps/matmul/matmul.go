@@ -27,6 +27,9 @@ type Config struct {
 	Seed int64
 	// MACCost is the CPU cost charged per multiply-accumulate.
 	MACCost dsmpm2.Duration
+	// Unbatched selects the one-envelope-per-operation communication path
+	// (A/B baseline for the comm experiment).
+	Unbatched bool
 }
 
 // Result reports a run's outcome.
@@ -78,10 +81,11 @@ func Run(cfg Config) (Result, error) {
 		cfg.MACCost = 10 // 0.01us per multiply-accumulate
 	}
 	sys, err := dsmpm2.New(dsmpm2.Config{
-		Nodes:    cfg.Nodes,
-		Network:  cfg.Network,
-		Protocol: cfg.Protocol,
-		Seed:     cfg.Seed,
+		Nodes:         cfg.Nodes,
+		Network:       cfg.Network,
+		Protocol:      cfg.Protocol,
+		Seed:          cfg.Seed,
+		UnbatchedComm: cfg.Unbatched,
 	})
 	if err != nil {
 		return Result{}, err

@@ -58,11 +58,24 @@ type invMsg struct {
 	ack      *sim.Chan // nil for unacknowledged invalidations
 }
 
-// diffMsgWire carries diffs to a home node.
+// invAck is the payload of an invalidation acknowledgement: which node
+// applied which page's invalidation. Carrying the page matters when one ack
+// channel covers several pages (a multi-page flush): a duplicate ack for an
+// already-applied page must not stand in for a different, still-unapplied
+// one.
+type invAck struct {
+	node int
+	page Page
+}
+
+// diffMsgWire carries diffs to a home node. noticed marks diffs whose
+// invalidations ride the writer's barrier notices instead of being applied
+// eagerly by the home (see DiffMsg.Noticed).
 type diffMsgWire struct {
-	from  int
-	diffs []*memory.Diff
-	reply *sim.Chan // signalled once applied, nil for fire-and-forget
+	from    int
+	diffs   []*memory.Diff
+	noticed bool
+	reply   *sim.Chan // signalled once applied, nil for fire-and-forget
 }
 
 // registerServices wires the DSM communication module onto every node.
@@ -142,9 +155,11 @@ func (d *DSM) registerServices() {
 			}
 			d.protoFor(m.page).InvalidateServer(iv)
 			if m.ack != nil {
-				// The ack carries the acknowledging node id, so a recovery
-				// retry loop can tick off exactly which holders answered.
-				d.rt.Network().SendDirect(h.Node(), m.from, m.ack, ctrlBytes, h.Node(), d.rt.Link(h.Node(), m.from).CtrlMsg)
+				// The ack names the acknowledging node and page, so a
+				// recovery retry loop can tick off exactly which holders
+				// answered for exactly which invalidations.
+				d.rt.Network().SendDirect(h.Node(), m.from, m.ack, ctrlBytes,
+					invAck{node: h.Node(), page: m.page}, d.rt.Link(h.Node(), m.from).CtrlMsg)
 			}
 			return nil
 		})
@@ -157,12 +172,13 @@ func (d *DSM) registerServices() {
 					panic("core: diffs sent to a protocol without a DiffServer")
 				}
 				ds.DiffServer(&DiffMsg{
-					DSM:    d,
-					Thread: h,
-					Node:   h.Node(),
-					From:   m.from,
-					Diffs:  m.diffs,
-					reply:  m.reply,
+					DSM:     d,
+					Thread:  h,
+					Node:    h.Node(),
+					From:    m.from,
+					Diffs:   m.diffs,
+					Noticed: m.noticed,
+					reply:   m.reply,
 				})
 			}
 			if m.reply != nil {
@@ -178,6 +194,8 @@ func (d *DSM) registerServices() {
 func (d *DSM) sendRequest(from, dest int, m *reqMsg) {
 	m.sentAt = d.rt.Now()
 	d.stats.Requests++
+	d.stats.Sends++
+	d.stats.Envelopes++
 	d.rt.AsyncFrom(from, dest, svcRequest, m, ctrlBytes)
 }
 
@@ -191,82 +209,120 @@ func (d *DSM) sendPage(from, dest int, m *pageMsg) {
 	m.link = d.rt.Link(from, dest).Name
 	d.stats.PageSends++
 	d.stats.PageBytes += int64(len(m.data))
+	d.stats.Sends++
+	d.stats.Envelopes++
 	d.rt.AsyncFrom(from, dest, svcPage, m, len(m.data))
 }
 
-// sendInvalidate delivers an invalidation to dest.
+// sendInvalidate delivers an invalidation to dest as its own envelope (the
+// unbatched path; batched flushes coalesce invalidations in outbox.go).
 func (d *DSM) sendInvalidate(from, dest int, m *invMsg) {
 	d.stats.Invalidations++
+	d.stats.Sends++
+	d.stats.Envelopes++
 	d.rt.AsyncFrom(from, dest, svcInvald, m, ctrlBytes)
 }
 
-// sendDiffs delivers a batch of diffs to dest and, if wait is true, blocks
-// the calling thread until the destination has applied them (release
-// semantics demand it).
+// diffFlight is one in-flight diff envelope: the send half of sendDiffs,
+// split from the wait half so flushes to distinct destinations overlap their
+// round trips (every envelope departs before the first reply is awaited).
+type diffFlight struct {
+	dest int
+	m    *diffMsgWire
+	size int
+}
+
+// startDiffs ships a diff list to dest as its own envelope and returns the
+// flight to pass to waitDiffs. With wait false the flight needs no waiting
+// (fire-and-forget).
+func (d *DSM) startDiffs(t *pm2.Thread, dest int, diffs []*memory.Diff, noticed, wait bool) *diffFlight {
+	size := ctrlBytes
+	for _, df := range diffs {
+		size += df.Size()
+	}
+	m := &diffMsgWire{from: t.Node(), diffs: diffs, noticed: noticed}
+	d.stats.DiffsSent += int64(len(diffs))
+	d.stats.DiffBytes += int64(size)
+	d.stats.Sends++
+	d.stats.Envelopes++
+	if wait {
+		m.reply = new(sim.Chan)
+	}
+	d.rt.AsyncFrom(t.Node(), dest, svcDiff, m, size)
+	return &diffFlight{dest: dest, m: m, size: size}
+}
+
+// waitDiffs blocks until a flight's destination acknowledged applying it
+// (release semantics demand it).
 //
 // With recovery enabled the wait is bounded: if the home dies before
 // acknowledging, each diff is re-routed to its page's current home (the
 // recovery sweep re-homed the dead node's pages), applied locally when this
 // node became the home. Diffs are absolute byte ranges, so a diff the dead
 // home did manage to apply before crashing re-applies idempotently.
-func (d *DSM) sendDiffs(t *pm2.Thread, dest int, diffs []*memory.Diff, wait bool) {
-	size := ctrlBytes
-	for _, df := range diffs {
-		size += df.Size()
-	}
-	m := &diffMsgWire{from: t.Node(), diffs: diffs}
-	d.stats.DiffsSent += int64(len(diffs))
-	d.stats.DiffBytes += int64(size)
-	if wait {
-		m.reply = new(sim.Chan)
-	}
-	d.rt.AsyncFrom(t.Node(), dest, svcDiff, m, size)
-	if !wait {
+func (d *DSM) waitDiffs(t *pm2.Thread, f *diffFlight) {
+	if f.m.reply == nil {
 		return
 	}
 	if d.recovery == nil {
-		m.reply.Recv(t.Proc())
+		f.m.reply.Recv(t.Proc())
 		return
 	}
 	for {
-		if _, ok := m.reply.RecvTimeout(t.Proc(), d.recovery.cfg.Timeout); ok {
+		if _, ok := f.m.reply.RecvTimeout(t.Proc(), d.recovery.cfg.Timeout); ok {
 			return
 		}
 		d.recovery.stats.Retries++
-		if !d.NodeDead(dest) {
+		if !d.NodeDead(f.dest) {
 			// The home is alive but silent: the diff or its ack may have
 			// been lost on a lossy link, or is crawling through a
 			// partition. Re-send — diffs apply idempotently, and a
 			// duplicate ack just lingers unread in this call's private
-			// reply channel.
-			d.rt.AsyncFrom(t.Node(), dest, svcDiff, m, size)
+			// reply channel. Counted like any other shipment, mirroring
+			// the batched retry path's accounting.
+			d.stats.DiffsSent += int64(len(f.m.diffs))
+			d.stats.Sends++
+			d.stats.Envelopes++
+			d.rt.AsyncFrom(t.Node(), f.dest, svcDiff, f.m, f.size)
 			continue
 		}
 		// The home died with our diffs unacknowledged: re-route each diff
-		// to its page's current home. When this node *became* the home,
-		// the diff goes through the protocol's own DiffServer so its
-		// commit side effects (applying, then invalidating third-party
-		// copies) happen exactly as they would have at the old home.
-		for _, df := range diffs {
-			home := d.allocInfo[df.Page].home
-			if home == t.Node() {
-				if ds, ok := d.protoFor(df.Page).(DiffServer); ok {
-					ds.DiffServer(&DiffMsg{
-						DSM: d, Thread: t, Node: t.Node(), From: t.Node(),
-						Diffs: []*memory.Diff{df},
-					})
-					continue
-				}
-				e := d.Entry(t.Node(), df.Page)
-				e.Lock(t)
-				if frame := d.state[t.Node()].space.Frame(df.Page); frame != nil {
-					memory.ApplyDiff(frame.Data, df)
-				}
-				e.Unlock(t)
-				continue
-			}
-			d.sendDiffs(t, home, []*memory.Diff{df}, true)
-		}
+		// to its page's current home.
+		d.rerouteDiffs(t, f.m.diffs)
 		return
 	}
+}
+
+// rerouteDiffs delivers each diff to its page's current home after the
+// original destination died. When this node *became* the home, the diff goes
+// through the protocol's own DiffServer so its commit side effects
+// (applying, then invalidating third-party copies) happen exactly as they
+// would have at the old home.
+func (d *DSM) rerouteDiffs(t *pm2.Thread, diffs []*memory.Diff) {
+	for _, df := range diffs {
+		home := d.allocInfo[df.Page].home
+		if home == t.Node() {
+			if ds, ok := d.protoFor(df.Page).(DiffServer); ok {
+				ds.DiffServer(&DiffMsg{
+					DSM: d, Thread: t, Node: t.Node(), From: t.Node(),
+					Diffs: []*memory.Diff{df},
+				})
+				continue
+			}
+			e := d.Entry(t.Node(), df.Page)
+			e.Lock(t)
+			if frame := d.state[t.Node()].space.Frame(df.Page); frame != nil {
+				memory.ApplyDiff(frame.Data, df)
+			}
+			e.Unlock(t)
+			continue
+		}
+		d.sendDiffs(t, home, []*memory.Diff{df}, true)
+	}
+}
+
+// sendDiffs delivers a batch of diffs to dest and, if wait is true, blocks
+// the calling thread until the destination has applied them.
+func (d *DSM) sendDiffs(t *pm2.Thread, dest int, diffs []*memory.Diff, wait bool) {
+	d.waitDiffs(t, d.startDiffs(t, dest, diffs, false, wait))
 }

@@ -73,6 +73,13 @@ type nodeState struct {
 	space *memory.Space
 	table map[Page]*Entry
 	pages []Page
+
+	// notices are the write notices this node queued during the current
+	// synchronization epoch, keyed by the barrier they were queued for;
+	// that barrier's arrival piggybacks them (see outbox.go). Keying by
+	// barrier keeps a concurrent thread's arrival at a different barrier
+	// from walking off with them.
+	notices map[int][]WriteNotice
 }
 
 // DSM is a DSM-PM2 instance spanning all nodes of a PM2 machine.
@@ -104,6 +111,13 @@ type DSM struct {
 	// until EnableRecovery is called. See recovery.go.
 	recovery *recoveryState
 
+	// batch selects the communication path: true (the default) coalesces
+	// the operations accumulated in a Batch into one multi-part envelope
+	// per destination and lets barriers piggyback write notices; false
+	// keeps the historical one-envelope-per-operation wire pattern, for A/B
+	// comparison (see outbox.go).
+	batch bool
+
 	stats      Stats
 	nodeFaults []int64
 	timings    TimingLog
@@ -129,6 +143,7 @@ func New(rt *pm2.Runtime, reg *Registry, costs Costs) *DSM {
 		instances: make(map[ProtoID]Protocol),
 		allocInfo: make(map[Page]pageInfo),
 		defProto:  -1,
+		batch:     true,
 	}
 	d.nodeFaults = make([]int64, rt.Nodes())
 	for i := 0; i < rt.Nodes(); i++ {
@@ -145,6 +160,16 @@ func New(rt *pm2.Runtime, reg *Registry, costs Costs) *DSM {
 
 // Runtime returns the underlying PM2 machine.
 func (d *DSM) Runtime() *pm2.Runtime { return d.rt }
+
+// SetBatching selects the communication path: on (the default) coalesces
+// release-time operations into one multi-part envelope per destination and
+// piggybacks write notices on barriers; off restores the historical
+// one-envelope-per-operation pattern. Flip it before Run, not mid-workload:
+// notices queued under batching would otherwise strand.
+func (d *DSM) SetBatching(on bool) { d.batch = on }
+
+// BatchingEnabled reports whether the batched communication path is active.
+func (d *DSM) BatchingEnabled() bool { return d.batch }
 
 // Costs returns the core cost configuration.
 func (d *DSM) Costs() Costs { return d.costs }

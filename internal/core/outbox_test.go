@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/memory"
+	"dsmpm2/internal/pm2"
+)
+
+// traceEvent is one handler activation observed during an outbox flush: the
+// virtual time it ran at, what ran, where. Two flushes are behaviourally
+// identical iff their event sequences match exactly.
+type traceEvent struct {
+	at   int64
+	kind string
+	page Page
+	node int
+}
+
+// outboxHarness builds a DSM whose only protocol records every invalidation
+// and diff delivery, so a flush's full wire behaviour can be compared
+// across runs.
+func outboxHarness(nodes int, batched bool) (*DSM, *pm2.Runtime, *[]traceEvent) {
+	rt := pm2.NewRuntime(pm2.Config{Nodes: nodes, Network: madeleine.BIPMyrinet, Seed: 1})
+	reg := NewRegistry()
+	trace := &[]traceEvent{}
+	var d *DSM
+	reg.Register("recorder", func(*DSM) Protocol {
+		return &Hooks{
+			ProtoName: "recorder",
+			OnInvalidate: func(iv *Invalidate) {
+				*trace = append(*trace, traceEvent{int64(iv.Thread.Now()), "inv", iv.Page, iv.Node})
+				DropCopy(iv)
+			},
+			OnDiffServer: func(dm *DiffMsg) {
+				for _, df := range dm.Diffs {
+					*trace = append(*trace, traceEvent{int64(dm.Thread.Now()), "diff", df.Page, dm.Node})
+				}
+			},
+		}
+	})
+	d = New(rt, reg, DefaultCosts())
+	d.SetBatching(batched)
+	id, _ := reg.Lookup("recorder")
+	d.SetDefaultProtocol(id)
+	return d, rt, trace
+}
+
+// TestBatchFlushOrderDeterministic is the determinism property test for the
+// outbox: queueing the same operations in any order must produce the exact
+// same wire behaviour — every handler fires at the same virtual time on the
+// same node, and the run's clocks and counters match — because Flush
+// canonicalizes to (destination ascending, page ascending). Checked on both
+// communication paths.
+func TestBatchFlushOrderDeterministic(t *testing.T) {
+	const nodes, pages = 4, 6
+	type op struct {
+		inv     bool
+		dest    int
+		page    int // page index into the allocated run
+		payload byte
+	}
+	var ops []op
+	for pg := 0; pg < pages; pg++ {
+		for dest := 1; dest < nodes; dest++ {
+			ops = append(ops, op{inv: true, dest: dest, page: pg})
+			if (pg+dest)%2 == 0 {
+				ops = append(ops, op{dest: dest, page: pg, payload: byte(pg*16 + dest)})
+			}
+		}
+	}
+	for _, batched := range []bool{true, false} {
+		name := "unbatched"
+		if batched {
+			name = "batched"
+		}
+		t.Run(name, func(t *testing.T) {
+			run := func(perm []int) ([]traceEvent, int64, Stats) {
+				d, rt, trace := outboxHarness(nodes, batched)
+				base := d.MustMalloc(0, pages*PageSize, nil)
+				first := d.Space(0).PageOf(base)
+				rt.CreateThread(0, "flusher", func(th *pm2.Thread) {
+					b := d.NewBatch(th)
+					for _, i := range perm {
+						o := ops[i]
+						if o.inv {
+							b.Invalidate(o.dest, first+Page(o.page), -1)
+						} else {
+							df := &memory.Diff{Page: first + Page(o.page)}
+							df.MergeRecorded(0, []byte{o.payload})
+							b.Diff(o.dest, df, false)
+						}
+					}
+					b.Flush(true)
+				})
+				if err := rt.Run(); err != nil {
+					t.Fatal(err)
+				}
+				return *trace, int64(rt.Now()), d.Stats()
+			}
+			identity := make([]int, len(ops))
+			for i := range identity {
+				identity[i] = i
+			}
+			wantTrace, wantNow, wantStats := run(identity)
+			if len(wantTrace) == 0 {
+				t.Fatal("flush produced no handler activations; the harness is broken")
+			}
+			rng := rand.New(rand.NewSource(99))
+			for trial := 0; trial < 8; trial++ {
+				perm := rng.Perm(len(ops))
+				gotTrace, gotNow, gotStats := run(perm)
+				if gotNow != wantNow {
+					t.Fatalf("trial %d: final clock %d, want %d (insertion order leaked into timing)", trial, gotNow, wantNow)
+				}
+				if !reflect.DeepEqual(gotTrace, wantTrace) {
+					t.Fatalf("trial %d: handler trace diverged under shuffled insertion\ngot  %v\nwant %v", trial, gotTrace, wantTrace)
+				}
+				if gotStats != wantStats {
+					t.Fatalf("trial %d: stats diverged: %+v vs %+v", trial, gotStats, wantStats)
+				}
+			}
+		})
+	}
+}
+
+// TestBatchFlushCoalescesEnvelopes pins the aggregation arithmetic: on the
+// batched path, N operations to K destinations depart as K envelopes; on
+// the unbatched path every invalidation is its own envelope and each
+// destination's diff list is one more.
+func TestBatchFlushCoalescesEnvelopes(t *testing.T) {
+	const nodes = 4
+	for _, batched := range []bool{true, false} {
+		d, rt, _ := outboxHarness(nodes, batched)
+		base := d.MustMalloc(0, 2*PageSize, nil)
+		first := d.Space(0).PageOf(base)
+		before := d.Stats()
+		rt.CreateThread(0, "flusher", func(th *pm2.Thread) {
+			b := d.NewBatch(th)
+			for dest := 1; dest < nodes; dest++ {
+				b.Invalidate(dest, first, -1)
+				b.Invalidate(dest, first+1, -1)
+				df := &memory.Diff{Page: first}
+				df.MergeRecorded(0, []byte{1})
+				b.Diff(dest, df, false)
+			}
+			b.Flush(true)
+		})
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		st := d.Stats()
+		ops, envs := st.Sends-before.Sends, st.Envelopes-before.Envelopes
+		if ops != 9 {
+			t.Fatalf("batched=%v: %d ops sent, want 9", batched, ops)
+		}
+		wantEnvs := int64(3) // one per destination
+		if !batched {
+			wantEnvs = 9 // 6 invalidations + 3 diff lists
+		}
+		if envs != wantEnvs {
+			t.Fatalf("batched=%v: %d envelopes, want %d", batched, envs, wantEnvs)
+		}
+		if st.InvAcks-before.InvAcks != 6 {
+			t.Fatalf("batched=%v: %d invalidation acks, want 6", batched, st.InvAcks-before.InvAcks)
+		}
+	}
+}
+
+// TestInvalidateCopiesBatched pins the single-page convenience wrapper's
+// contract on both paths: every copyset holder except self and the new
+// owner is invalidated (blocking until acknowledged), and the batched path
+// ships one envelope per destination.
+func TestInvalidateCopiesBatched(t *testing.T) {
+	const nodes = 4
+	for _, batched := range []bool{true, false} {
+		d, rt, trace := outboxHarness(nodes, batched)
+		base := d.MustMalloc(0, PageSize, nil)
+		pg := d.Space(0).PageOf(base)
+		rt.CreateThread(0, "writer", func(th *pm2.Thread) {
+			// Copyset includes self (0) and the new owner (2): both skipped.
+			InvalidateCopiesBatched(d, th, pg, []int{0, 1, 2, 3}, 2)
+		})
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(*trace) != 2 {
+			t.Fatalf("batched=%v: %d invalidations ran, want 2 (nodes 1 and 3)", batched, len(*trace))
+		}
+		for i, want := range []int{1, 3} {
+			if ev := (*trace)[i]; ev.kind != "inv" || ev.node != want || ev.page != pg {
+				t.Fatalf("batched=%v: event %d = %+v, want inv of page %d on node %d", batched, i, ev, pg, want)
+			}
+		}
+		if st := d.Stats(); st.Invalidations != 2 || st.InvAcks != 2 {
+			t.Fatalf("batched=%v: Invalidations=%d InvAcks=%d, want 2/2", batched, st.Invalidations, st.InvAcks)
+		}
+	}
+}
+
+// TestWriteNoticeRoundTrip checks the piggyback plumbing end to end at the
+// core level: notices queued before a barrier ride it, every participant
+// applies the canonical union, and stale non-writer copies are gone after
+// the barrier while the sole writer's copy and the home's reference copy
+// survive.
+func TestWriteNoticeRoundTrip(t *testing.T) {
+	const nodes = 3
+	d, rt, _ := outboxHarness(nodes, true)
+	base := d.MustMalloc(0, PageSize, nil)
+	pg := d.Space(0).PageOf(base)
+	// Give nodes 1 and 2 read copies, registered in the home's copyset.
+	for n := 1; n < nodes; n++ {
+		d.Space(n).SetAccess(pg, memory.ReadOnly)
+		d.Entry(0, pg).AddCopyset(n)
+	}
+	bar := d.NewBarrier(nodes)
+	for n := 0; n < nodes; n++ {
+		n := n
+		rt.CreateThread(n, fmt.Sprintf("w%d", n), func(th *pm2.Thread) {
+			if n == 1 {
+				// Node 1 is the writer: its release queued a notice.
+				d.QueueWriteNotice(th, bar, pg)
+			}
+			d.Barrier(th, bar)
+		})
+	}
+	if err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The home's copyset stays a superset of the holders (never pruned at
+	// a barrier — see applyNotice); the writer must still be a member.
+	if e := d.Entry(0, pg); !e.InCopyset(1) {
+		t.Fatalf("home copyset after barrier = %v, writer 1 must remain a member", e.Copyset)
+	}
+	if d.Space(1).AccessOf(pg) == memory.NoAccess {
+		t.Fatal("sole writer's copy was dropped; it is the freshest replica")
+	}
+	if d.Space(2).AccessOf(pg) != memory.NoAccess {
+		t.Fatal("stale reader copy survived the barrier notice")
+	}
+	if d.Stats().Notices != 1 {
+		t.Fatalf("Notices = %d, want 1", d.Stats().Notices)
+	}
+}

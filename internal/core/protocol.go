@@ -165,7 +165,12 @@ type DiffMsg struct {
 	Node   int
 	From   int
 	Diffs  []*memory.Diff
-	reply  *sim.Chan
+	// Noticed marks diffs whose invalidations are deferred to the writer's
+	// barrier write notices: the home applies them but must not eagerly
+	// invalidate third-party copies — those drop themselves when the
+	// barrier distributes the notices (see outbox.go).
+	Noticed bool
+	reply   *sim.Chan
 }
 
 // ObjAccess is the context for object get/put primitives.

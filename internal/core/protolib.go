@@ -240,6 +240,7 @@ func InvalidateCopies(d *DSM, t *pm2.Thread, pg Page, copyset []int, newOwner in
 		}
 		for i := 0; i < acks; i++ {
 			ack.Recv(t.Proc())
+			d.stats.InvAcks++
 		}
 		return
 	}
@@ -255,8 +256,9 @@ func InvalidateCopies(d *DSM, t *pm2.Thread, pg Page, copyset []int, newOwner in
 	for len(outstanding) > 0 {
 		v, ok := ack.RecvTimeout(t.Proc(), d.recovery.cfg.Timeout)
 		if ok {
-			if n, isNode := v.(int); isNode {
-				delete(outstanding, n)
+			if a, isAck := v.(invAck); isAck && outstanding[a.node] {
+				delete(outstanding, a.node)
+				d.stats.InvAcks++
 			}
 			continue
 		}
@@ -274,6 +276,39 @@ func InvalidateCopies(d *DSM, t *pm2.Thread, pg Page, copyset []int, newOwner in
 			d.sendInvalidate(t.Node(), n, &invMsg{page: pg, from: t.Node(), newOwner: newOwner, ack: ack})
 		}
 	}
+}
+
+// InvalidateCopiesBatched is InvalidateCopies through the outbox: the
+// per-holder invalidations queue into one Batch and flush as one envelope
+// per destination (with batching disabled it reproduces InvalidateCopies'
+// wire pattern). Blocks until every holder acknowledged. Protocols that
+// invalidate several pages in one release get more out of queueing into a
+// shared Batch directly — this is the single-page convenience.
+func InvalidateCopiesBatched(d *DSM, t *pm2.Thread, pg Page, copyset []int, newOwner int) {
+	b := d.NewBatch(t)
+	for _, n := range copyset {
+		if n == newOwner {
+			continue // Batch.Invalidate already skips self
+		}
+		b.Invalidate(n, pg, newOwner)
+	}
+	b.Flush(true)
+}
+
+// SendDiffsBatched ships every destination's diff list through the outbox
+// and, when wait is true, blocks until all destinations applied them — every
+// envelope departs before the first reply is awaited, so flushes to distinct
+// homes overlap instead of serializing. noticed defers the homes' eager
+// invalidations to the senders' barrier write notices (home-based protocols
+// only).
+func SendDiffsBatched(d *DSM, t *pm2.Thread, byDest map[int][]*memory.Diff, noticed, wait bool) {
+	b := d.NewBatch(t)
+	for dest, diffs := range byDest {
+		for _, df := range diffs {
+			b.Diff(dest, df, noticed)
+		}
+	}
+	b.Flush(wait)
 }
 
 // DropCopy invalidates the local copy of pg: the frame is discarded, rights

@@ -22,6 +22,19 @@ type Stats struct {
 	DiffsSent     int64
 	DiffBytes     int64
 
+	// Comm-module accounting. Sends counts every DSM message shipped
+	// (requests, pages, invalidations, diff lists — whether alone or inside
+	// a batch); InvAcks counts invalidation acknowledgements received
+	// (individually or coalesced in a batch reply); Envelopes counts the
+	// wire envelopes the DSM shipped, where a batched flush to one
+	// destination counts once however many operations it carries; Notices
+	// counts write notices piggybacked on barrier messages. The spread
+	// between Sends and Envelopes is what batching saved.
+	Sends     int64
+	InvAcks   int64
+	Envelopes int64
+	Notices   int64
+
 	Acquires int64
 	Releases int64
 	Barriers int64

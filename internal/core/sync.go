@@ -42,7 +42,9 @@ type barrierWaiter struct {
 
 // barrierState is the manager-side state of one DSM barrier. gen counts
 // completed generations, so re-arrivals for an already-released generation
-// return immediately.
+// return immediately. notices accumulates the write notices the current
+// generation's arrivals piggybacked; the release distributes their
+// canonical union to every participant.
 type barrierState struct {
 	id      int
 	home    int
@@ -50,6 +52,28 @@ type barrierState struct {
 	gen     int
 	arrived int
 	waiters []*barrierWaiter
+	notices []WriteNotice
+	// arrivedNodes tracks which nodes this generation's arrivals came
+	// from: a generation that distributes write notices must have heard
+	// from every node, or uncovered nodes would keep stale copies.
+	arrivedNodes map[int]bool
+}
+
+// barrierGrant is the value a completing barrier hands every participant:
+// the aggregated write notices of the generation, in canonical order.
+// Parked arrivals receive it through their waiter channel; the last arrival
+// returns it directly as the RPC result.
+type barrierGrant struct {
+	notices []WriteNotice
+}
+
+// grantReply wraps a grant for the RPC reply, charging the wire for the
+// notices it carries — piggybacking saves the round trips, not the bytes.
+func grantReply(g *barrierGrant) interface{} {
+	if g == nil {
+		return nil
+	}
+	return &pm2.SizedReply{Value: g, Size: ctrlBytes + noticeBytes*len(g.notices)}
 }
 
 // NewLock creates a cluster-wide lock managed by node home and returns its
@@ -113,6 +137,10 @@ type barrierReq struct {
 	from        int
 	participant int // -1 for anonymous arrivals
 	gen         int // arriving participant's generation; -1 when anonymous
+	// notices are the arriving node's pending write notices, piggybacked on
+	// the arrival message so barrier-synchronized invalidation costs no
+	// extra round trip.
+	notices []WriteNotice
 }
 
 // registerSyncServices installs the lock and barrier managers on each node.
@@ -160,14 +188,25 @@ func (d *DSM) registerSyncServices() {
 				return nil // stale arrival from a crashed node
 			}
 			bs := d.barriers[req.id]
+			if req.participant >= 0 && req.gen > bs.gen {
+				panic(fmt.Sprintf("core: barrier %d arrival for future generation %d (current %d)",
+					req.id, req.gen, bs.gen))
+			}
+			// Notices fold in before any early return: a stale-generation
+			// re-arrival's notices were already drained from the node, so
+			// discarding them here would lose invalidation information for
+			// good — folding them into the current generation delivers them
+			// late, which is always safe (dropping a stale copy later
+			// still drops it).
+			bs.notices = append(bs.notices, req.notices...)
+			if bs.arrivedNodes == nil {
+				bs.arrivedNodes = make(map[int]bool)
+			}
+			bs.arrivedNodes[req.from] = true
+			if req.participant >= 0 && req.gen >= 0 && req.gen < bs.gen {
+				return nil // that generation already completed
+			}
 			if req.participant >= 0 {
-				if req.gen >= 0 && req.gen < bs.gen {
-					return nil // that generation already completed
-				}
-				if req.gen > bs.gen {
-					panic(fmt.Sprintf("core: barrier %d arrival for future generation %d (current %d)",
-						req.id, req.gen, bs.gen))
-				}
 				for _, w := range bs.waiters {
 					if w.participant != req.participant {
 						continue
@@ -178,28 +217,55 @@ func (d *DSM) registerSyncServices() {
 					// over its slot; the arrival count is unchanged.
 					w.ch.Push(false)
 					w.ch = new(sim.Chan)
-					w.ch.Recv(h.Proc())
-					return nil
+					g, _ := w.ch.Recv(h.Proc()).(*barrierGrant)
+					return grantReply(g)
 				}
 			}
 			bs.arrived++
 			if bs.arrived == bs.n {
 				bs.arrived = 0
 				bs.gen++
+				grant := &barrierGrant{notices: canonicalNotices(bs.notices)}
+				bs.notices = nil
+				if len(grant.notices) > 0 && !d.noticeCoverage(bs) {
+					// Fail fast: distributing notices to a generation that
+					// did not hear from every live node would leave the
+					// uncovered nodes' copies stale forever. NoticesUsable
+					// gates on participant count; this catches the app
+					// that clustered its participants on fewer nodes.
+					panic(fmt.Sprintf("core: barrier %d released write notices without hearing from every node (notices require one participant per node)", bs.id))
+				}
+				bs.arrivedNodes = nil
 				for _, w := range bs.waiters {
-					w.ch.Push(true)
+					w.ch.Push(grant)
 				}
 				bs.waiters = nil
-				return nil
+				return grantReply(grant)
 			}
 			w := &barrierWaiter{ch: new(sim.Chan), participant: req.participant}
 			bs.waiters = append(bs.waiters, w)
-			w.ch.Recv(h.Proc())
-			return nil
+			g, _ := w.ch.Recv(h.Proc()).(*barrierGrant)
+			return grantReply(g)
 		})
 
 		d.registerCondServices(node)
 	}
+}
+
+// noticeCoverage reports whether the completing generation heard from every
+// node that could hold a copy: all nodes, less those currently dead (a
+// corpse's copies died with it).
+func (d *DSM) noticeCoverage(bs *barrierState) bool {
+	for n := 0; n < d.rt.Nodes(); n++ {
+		if bs.arrivedNodes[n] {
+			continue
+		}
+		if d.recovery != nil && d.NodeDead(n) {
+			continue
+		}
+		return false
+	}
+	return true
 }
 
 // grantNext hands the lock to the oldest live waiter, or marks it free.
@@ -270,8 +336,17 @@ func (d *DSM) BarrierAs(t *pm2.Thread, id, participant, gen int) {
 	d.stats.Barriers++
 	ev := &SyncEvent{DSM: d, Thread: t, Node: t.Node(), Lock: id, Barrier: true}
 	d.eachInstance(func(p Protocol) { p.LockRelease(ev) })
-	t.Call(d.barriers[id].home, svcBarrier,
-		&barrierReq{id: id, from: t.Node(), participant: participant, gen: gen}, ctrlBytes, ctrlBytes)
+	// The release hooks above may have queued write notices; they ride the
+	// arrival message, and the barrier's completion hands back the
+	// generation's aggregated notices to apply locally — invalidation with
+	// zero extra round trips.
+	req := &barrierReq{id: id, from: t.Node(), participant: participant, gen: gen,
+		notices: d.takeNotices(t.Node(), id)}
+	res := t.Call(d.barriers[id].home, svcBarrier, req,
+		ctrlBytes+noticeBytes*len(req.notices), ctrlBytes)
+	if g, ok := res.(*barrierGrant); ok && len(g.notices) > 0 {
+		d.applyNotices(t, g.notices)
+	}
 	d.eachInstance(func(p Protocol) { p.LockAcquire(ev) })
 }
 

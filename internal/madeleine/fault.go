@@ -58,7 +58,9 @@ type FaultStats struct {
 	Restarts int
 }
 
-// heldMsg is one message parked on a partitioned link.
+// heldMsg is one message parked on a partitioned link. A multi-part
+// envelope (SendGather) is held as a unit: parts is non-nil, q/payload are
+// unused, and heal re-injects the whole envelope through one departure.
 type heldMsg struct {
 	from    int
 	to      int
@@ -67,7 +69,16 @@ type heldMsg struct {
 	size    int
 	d       sim.Duration // arrival latency to charge from heal time
 	isMsg   bool         // payload is a pooled *Message owned by this network
+	parts   []*Message   // multi-part envelope held as a unit
 	heldAt  sim.Time
+}
+
+// dropParts reclaims every part of a discarded multi-part envelope: each
+// pooled Message (and its inner payload, via the drop handler) exactly once.
+func (nw *Network) dropParts(parts []*Message) {
+	for _, m := range parts {
+		nw.dropPayload(m, true)
+	}
 }
 
 // linkFault is the fault state of one directed link.
@@ -186,7 +197,11 @@ func (nw *Network) CrashNode(n int) {
 		kept := lf.held[:0]
 		for _, hm := range lf.held {
 			if hm.to == n || hm.from == n {
-				nw.dropPayload(hm.payload, hm.isMsg)
+				if hm.parts != nil {
+					nw.dropParts(hm.parts)
+				} else {
+					nw.dropPayload(hm.payload, hm.isMsg)
+				}
 				fs.stats.Dropped++
 				continue
 			}
@@ -242,13 +257,21 @@ func (nw *Network) HealLink(from, to int) {
 	for _, hm := range held {
 		dead := func(n int) bool { return n >= 0 && n < nw.n && fs.dead[n] }
 		if dead(hm.to) || dead(hm.from) {
-			nw.dropPayload(hm.payload, hm.isMsg)
+			if hm.parts != nil {
+				nw.dropParts(hm.parts)
+			} else {
+				nw.dropPayload(hm.payload, hm.isMsg)
+			}
 			fs.stats.Dropped++
 			continue
 		}
 		fs.stats.HeldTime += now.Sub(hm.heldAt)
 		// Re-inject through the occupancy clocks: a healed burst pays the
 		// same NIC/link serialization a normally-sent burst would.
+		if hm.parts != nil {
+			nw.deliverGather(hm.from, hm.to, hm.parts, hm.size, hm.d)
+			continue
+		}
 		depart := nw.departure(hm.from, hm.to, hm.size)
 		nw.eng.SchedulePush(depart.Add(hm.d), hm.q, hm.payload)
 	}
@@ -280,6 +303,46 @@ func (nw *Network) dropPayload(payload interface{}, isMsg bool) {
 	if fs.onDrop != nil && payload != nil {
 		fs.onDrop(payload)
 	}
+}
+
+// interceptGather applies the fault model to one multi-part envelope and
+// reports whether it was consumed (dropped or held). The envelope is
+// all-or-nothing: a dead endpoint or a drop discards every part, reclaiming
+// each pooled Message (and handing each inner payload to the drop handler)
+// exactly once; a queueing partition parks the whole envelope so heal
+// re-injects it through a single departure. Loss is drawn once per envelope
+// — it is one unit on the wire — and duplication never applies (the parts
+// share coalesced-reply state that must complete exactly once).
+func (nw *Network) interceptGather(from, to int, parts []*Message, total int, d sim.Duration) bool {
+	fs := nw.faults
+	if to >= 0 && to < nw.n && fs.dead[to] || from >= 0 && from < nw.n && fs.dead[from] {
+		fs.stats.DeadDrops++
+		nw.dropParts(parts)
+		return true
+	}
+	lf := fs.links[linkKey{from, to}]
+	if lf == nil {
+		return false
+	}
+	if lf.partitioned {
+		if fs.policy == PartitionDrop {
+			fs.stats.Dropped++
+			nw.dropParts(parts)
+			return true
+		}
+		fs.stats.Held++
+		lf.held = append(lf.held, heldMsg{
+			from: from, to: to, parts: parts, size: total,
+			d: d, heldAt: nw.eng.Now(),
+		})
+		return true
+	}
+	if lf.dropRate > 0 && fs.rng.Float64() < lf.dropRate {
+		fs.stats.Dropped++
+		nw.dropParts(parts)
+		return true
+	}
+	return false
 }
 
 // intercept applies the fault model to one send and reports whether the

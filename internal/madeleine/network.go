@@ -94,8 +94,9 @@ type Network struct {
 	faults *faultState
 
 	// stats
-	msgs  int
-	bytes int64
+	msgs      int
+	bytes     int64
+	envelopes int
 }
 
 // NewNetwork creates a uniform network of n nodes using the given cost
@@ -245,6 +246,7 @@ func (nw *Network) SendAfter(msg *Message, d sim.Duration) {
 	msg.SentAt = nw.eng.Now()
 	nw.msgs++
 	nw.bytes += int64(msg.Size)
+	nw.envelopes++
 	if msg.Chan == 0 {
 		msg.Chan = nw.ChannelID(msg.Channel)
 	}
@@ -254,6 +256,60 @@ func (nw *Network) SendAfter(msg *Message, d sim.Duration) {
 	}
 	depart := nw.departure(msg.From, msg.To, msg.Size)
 	nw.eng.SchedulePush(depart.Add(d), q, msg)
+}
+
+// GatherPart is one component of a multi-part envelope: a payload bound for
+// one logical channel of the destination, with its own wire size.
+type GatherPart struct {
+	Chan    ChanID
+	Size    int
+	Payload interface{}
+}
+
+// SendGather ships parts from->to as ONE wire envelope: the summed byte size
+// crosses the NIC/link occupancy model exactly once (a single departure), the
+// whole batch is charged latency d once, and on arrival the parts scatter to
+// their per-channel inbound queues in part order. This is the scatter/gather
+// primitive the batched DSM communication path rides on — N page operations
+// leave the interface as one message instead of N.
+//
+// The fault model treats the envelope as a unit: a dead endpoint or a
+// drop-policy partition discards every part (each pooled Message reclaimed
+// exactly once), a queueing partition holds and later re-injects the whole
+// envelope, and a lossy link draws its drop once per envelope. Multi-part
+// envelopes are never duplicated: their parts carry coalesced-reply state
+// that must complete exactly once.
+func (nw *Network) SendGather(from, to int, parts []GatherPart, d sim.Duration) {
+	if len(parts) == 0 {
+		return
+	}
+	now := nw.eng.Now()
+	total := 0
+	msgs := make([]*Message, len(parts))
+	for i, p := range parts {
+		total += p.Size
+		m := nw.getMsg()
+		*m = Message{From: from, To: to, Channel: nw.ChannelName(p.Chan), Chan: p.Chan,
+			Size: p.Size, Payload: p.Payload, SentAt: now}
+		msgs[i] = m
+	}
+	nw.msgs += len(parts)
+	nw.bytes += int64(total)
+	nw.envelopes++
+	if nw.faults != nil && nw.interceptGather(from, to, msgs, total, d) {
+		return
+	}
+	nw.deliverGather(from, to, msgs, total, d)
+}
+
+// deliverGather performs the fault-free half of a gather send: one departure
+// for the whole envelope, then one queue push per part at the arrival time.
+func (nw *Network) deliverGather(from, to int, parts []*Message, total int, d sim.Duration) {
+	depart := nw.departure(from, to, total)
+	at := depart.Add(d)
+	for _, m := range parts {
+		nw.eng.SchedulePush(at, nw.queue(to, m.Chan), m)
+	}
 }
 
 // departure resolves when a message of size bytes from from to to leaves the
@@ -331,6 +387,7 @@ func (nw *Network) SendBulkID(from, to int, ch ChanID, size int, payload interfa
 func (nw *Network) SendDirect(from, to int, q *sim.Chan, size int, payload interface{}, d sim.Duration) {
 	nw.msgs++
 	nw.bytes += int64(size)
+	nw.envelopes++
 	if nw.faults != nil && nw.intercept(from, to, q, payload, size, d, false) {
 		return
 	}
@@ -359,3 +416,10 @@ func (nw *Network) TryRecv(node int, channel string) (*Message, bool) {
 
 // Stats reports cumulative message and byte counts.
 func (nw *Network) Stats() (messages int, bytes int64) { return nw.msgs, nw.bytes }
+
+// Envelopes reports the cumulative number of wire envelopes that departed:
+// every plain send (named-channel or direct) counts one, and a multi-part
+// gather counts one regardless of how many parts it carries. The spread
+// between Stats' message count and this counter is exactly what batching
+// saved.
+func (nw *Network) Envelopes() int { return nw.envelopes }

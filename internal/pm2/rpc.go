@@ -29,6 +29,25 @@ type rpcReq struct {
 	reply   *sim.Chan // nil for one-way invocations
 	retSize int
 	from    int
+
+	// join links the request into a vector invocation: the handler's
+	// completion counts down the join instead of sending its own reply, and
+	// the last element's completion sends the single coalesced reply. idx is
+	// this element's position in the vector (its result slot).
+	join *vecJoin
+	idx  int
+}
+
+// vecJoin coalesces the completions of one vector invocation (CallVec /
+// AsyncVec) into a single reply: the envelope fans into one handler per
+// element, each completion decrements remaining, and the last completion
+// ships one reply carrying every element's result in element order.
+type vecJoin struct {
+	remaining int
+	results   []interface{}
+	reply     *sim.Chan // nil for fire-and-forget vectors
+	retSize   int
+	from      int
 }
 
 // getReq takes a request envelope from the freelist (or allocates one).
@@ -103,10 +122,49 @@ func (n *Node) spawnDispatcher(svc *service) {
 	dispatcher.Proc().MarkDaemon()
 }
 
+// SizedReply lets a handler override its reply's wire size at completion
+// time, for results whose size is only known when the handler finishes —
+// e.g. a barrier grant carrying the write notices the generation's arrivals
+// accumulated. The reply is charged for Size bytes and the caller receives
+// Value. From a vector element, Size adds to the coalesced reply's charge
+// instead (the caller-supplied base covers the envelope, each override its
+// element's payload).
+type SizedReply struct {
+	Value interface{}
+	Size  int
+}
+
 // run executes the handler and sends the reply if one is expected, charged
-// on the link back to the caller.
+// on the link back to the caller. Elements of a vector invocation do not
+// reply individually: each completion counts down the shared join, and the
+// last one sends the single coalesced reply.
 func (svc *service) run(t *Thread, req *rpcReq) {
 	res := svc.handler(t, req.arg)
+	if sr, ok := res.(*SizedReply); ok {
+		if req.join != nil {
+			req.join.retSize += sr.Size
+		} else {
+			req.retSize = sr.Size
+		}
+		res = sr.Value
+	}
+	if j := req.join; j != nil {
+		idx := req.idx
+		svc.node.rt.putReq(req)
+		if j.results != nil {
+			j.results[idx] = res
+		}
+		j.remaining--
+		if j.remaining == 0 && j.reply != nil {
+			prof := svc.node.rt.Link(svc.node.ID, j.from)
+			d := prof.RPCBase / 2
+			if j.retSize > 64 {
+				d += prof.Transfer(j.retSize) - prof.XferBase
+			}
+			svc.node.rt.net.SendDirect(svc.node.ID, j.from, j.reply, j.retSize, j.results, d)
+		}
+		return
+	}
 	if req.reply != nil {
 		prof := svc.node.rt.Link(svc.node.ID, req.from)
 		d := prof.RPCBase / 2
@@ -158,4 +216,85 @@ func (rt *Runtime) AsyncFrom(from, dest int, svcName string, arg interface{}, si
 	} else {
 		rt.net.SendCtrlID(from, dest, ch, req)
 	}
+}
+
+// VecElem is one element of a vector invocation: a service name, its
+// argument, and the element's wire size.
+type VecElem struct {
+	Svc  string
+	Arg  interface{}
+	Size int
+}
+
+// StartVecFrom ships a vector of service invocations to dest as ONE
+// multi-part envelope (a single departure through the link-contention model)
+// and returns the reply channel the coalesced reply will arrive on. Each
+// element fans into its service's normal dispatch on the destination —
+// threaded services handle elements concurrently — and the last element's
+// completion sends one reply carrying the results in element order. The
+// caller blocks on the returned channel when it wants vector-call semantics
+// (CallVec does), or interleaves several destinations' envelopes and waits
+// once at the end (the DSM outbox flush does).
+func (rt *Runtime) StartVecFrom(from, dest int, elems []VecElem, retSize int) *sim.Chan {
+	reply := new(sim.Chan)
+	rt.sendVec(from, dest, elems, reply, retSize)
+	return reply
+}
+
+// AsyncVecFrom is StartVecFrom without a reply: the envelope fans out on the
+// destination and nobody waits (fire-and-forget vectors).
+func (rt *Runtime) AsyncVecFrom(from, dest int, elems []VecElem) {
+	rt.sendVec(from, dest, elems, nil, 0)
+}
+
+// CallVec invokes a vector of per-element service invocations on dest as one
+// multi-part envelope, blocking until every handler completed; the single
+// coalesced reply carries the handlers' results in element order.
+func (t *Thread) CallVec(dest int, elems []VecElem, retSize int) []interface{} {
+	reply := t.rt.StartVecFrom(t.node, dest, elems, retSize)
+	res, _ := reply.Recv(t.proc).([]interface{})
+	return res
+}
+
+// sendVec builds the pooled per-element requests, binds them to one join,
+// and ships the whole vector as a single gather envelope. The latency charge
+// mirrors Call for replied vectors (half a null-RPC round trip plus the bulk
+// time of the summed payload) and Async for fire-and-forget ones.
+func (rt *Runtime) sendVec(from, dest int, elems []VecElem, reply *sim.Chan, retSize int) {
+	if len(elems) == 0 {
+		if reply != nil {
+			// An empty vector completes immediately: push the (empty)
+			// results so a generic send-then-wait loop never wedges.
+			reply.Push([]interface{}(nil))
+		}
+		return
+	}
+	j := &vecJoin{remaining: len(elems), reply: reply, retSize: retSize, from: from}
+	if reply != nil {
+		j.results = make([]interface{}, len(elems))
+	}
+	parts := make([]madeleine.GatherPart, len(elems))
+	total := 0
+	for i, el := range elems {
+		req := rt.getReq()
+		req.arg = el.Arg
+		req.from = from
+		req.join = j
+		req.idx = i
+		parts[i] = madeleine.GatherPart{Chan: rt.svcChanID(el.Svc), Size: el.Size, Payload: req}
+		total += el.Size
+	}
+	prof := rt.Link(from, dest)
+	var d sim.Duration
+	if reply != nil {
+		d = prof.RPCBase / 2
+		if total > 64 {
+			d += prof.Transfer(total) - prof.XferBase
+		}
+	} else if total > 64 {
+		d = prof.Transfer(total)
+	} else {
+		d = prof.CtrlMsg
+	}
+	rt.net.SendGather(from, dest, parts, d)
 }

@@ -63,12 +63,13 @@ type scenario struct {
 }
 
 // conformanceHarness builds a machine over topo with all built-ins
-// registered and proto as default.
-func conformanceHarness(t *testing.T, topo madeleine.Topology, proto string) (*pm2.Runtime, *core.DSM) {
+// registered, proto as default, and the requested communication path.
+func conformanceHarness(t *testing.T, topo madeleine.Topology, proto string, batched bool) (*pm2.Runtime, *core.DSM) {
 	t.Helper()
 	rt := pm2.NewRuntime(pm2.Config{Nodes: conformanceNodes, Topology: topo, Seed: 42})
 	reg, _ := NewRegistry()
 	d := core.New(rt, reg, core.DefaultCosts())
+	d.SetBatching(batched)
 	id, ok := reg.Lookup(proto)
 	if !ok {
 		t.Fatalf("protocol %q not registered", proto)
@@ -364,8 +365,11 @@ func readBack(t *testing.T, rt *pm2.Runtime, d *core.DSM, read func(*pm2.Thread)
 	return out
 }
 
-// TestConformance sweeps scenarios × protocols × topologies. In -short mode
-// only the uniform topology runs (the CI race job uses this subset).
+// TestConformance sweeps scenarios × protocols × topologies × communication
+// paths (batched and unbatched). In -short mode only the uniform topology
+// runs (the CI race job uses this subset); both comm paths stay covered
+// there — the batched path is the default and the unbatched path must not
+// rot.
 func TestConformance(t *testing.T) {
 	scenarios := []scenario{
 		{"jacobi", jacobiOracle, jacobiRun},
@@ -373,26 +377,35 @@ func TestConformance(t *testing.T) {
 		{"hotspot", hotspotOracle, hotspotRun},
 		{"prodcons", prodconsOracle, prodconsRun},
 	}
+	commPaths := []struct {
+		name    string
+		batched bool
+	}{
+		{"batched", true},
+		{"unbatched", false},
+	}
 	reg, _ := NewRegistry()
 	protocols := reg.Names()
 	for _, topo := range conformanceTopologies(testing.Short()) {
-		for _, proto := range protocols {
-			for _, sc := range scenarios {
-				name := fmt.Sprintf("%s/%s/%s", topo.name, proto, sc.name)
-				t.Run(name, func(t *testing.T) {
-					rt, d := conformanceHarness(t, topo.make(), proto)
-					got := sc.run(t, rt, d)
-					want := sc.oracle()
-					if len(got) != len(want) {
-						t.Fatalf("read %d values, oracle has %d", len(got), len(want))
-					}
-					for i := range want {
-						if got[i] != want[i] {
-							t.Fatalf("value %d = %d, oracle says %d (full: got %v want %v)",
-								i, got[i], want[i], got, want)
+		for _, comm := range commPaths {
+			for _, proto := range protocols {
+				for _, sc := range scenarios {
+					name := fmt.Sprintf("%s/%s/%s/%s", topo.name, comm.name, proto, sc.name)
+					t.Run(name, func(t *testing.T) {
+						rt, d := conformanceHarness(t, topo.make(), proto, comm.batched)
+						got := sc.run(t, rt, d)
+						want := sc.oracle()
+						if len(got) != len(want) {
+							t.Fatalf("read %d values, oracle has %d", len(got), len(want))
 						}
-					}
-				})
+						for i := range want {
+							if got[i] != want[i] {
+								t.Fatalf("value %d = %d, oracle says %d (full: got %v want %v)",
+									i, got[i], want[i], got, want)
+							}
+						}
+					})
+				}
 			}
 		}
 	}

@@ -155,8 +155,7 @@ func (p *entryMW) flushDirty(s *core.SyncEvent, scope map[core.Page]bool) {
 		}
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-	byHome := make(map[int][]*memory.Diff)
-	var homes []int
+	b := p.d.NewBatch(s.Thread)
 	for _, pg := range pages {
 		delete(p.dirty[node], pg)
 		e := p.d.Entry(node, pg)
@@ -170,19 +169,16 @@ func (p *entryMW) flushDirty(s *core.SyncEvent, scope map[core.Page]bool) {
 		if e.Home == node {
 			continue // home writes are already in the reference copy
 		}
-		if _, seen := byHome[e.Home]; !seen {
-			homes = append(homes, e.Home)
-		}
-		byHome[e.Home] = append(byHome[e.Home], diff)
+		b.Diff(e.Home, diff, false)
 	}
-	sort.Ints(homes)
-	for _, h := range homes {
-		core.SendDiffsHome(p.d, s.Thread, h, byHome[h], true)
-	}
+	// One envelope per home, every envelope in flight before the first
+	// wait: flushes to distinct homes overlap.
+	b.Flush(true)
 }
 
 func (p *entryMW) dropCopies(s *core.SyncEvent, scope map[core.Page]bool) {
 	node := s.Node
+	b := p.d.NewBatch(s.Thread)
 	for _, pg := range p.d.PagesOn(node) {
 		if !inScope(scope, pg) {
 			continue
@@ -204,9 +200,10 @@ func (p *entryMW) dropCopies(s *core.SyncEvent, scope map[core.Page]bool) {
 		delete(p.dirty[node], pg)
 		e.Unlock(s.Thread)
 		if flush != nil {
-			core.SendDiffsHome(p.d, s.Thread, e.Home, []*memory.Diff{flush}, true)
+			b.Diff(e.Home, flush, false)
 		}
 	}
+	b.Flush(true)
 }
 
 // DiffServer applies arriving diffs to the reference copy.

@@ -105,7 +105,9 @@ func (p *ercSW) LockAcquire(*core.SyncEvent) {}
 
 // LockRelease eagerly invalidates the copysets of every page this node wrote
 // since the previous release, blocking until all copies are acknowledged
-// gone.
+// gone. The invalidations of all written pages queue into one outbox, so a
+// holder of several stale copies receives a single envelope covering them
+// all and the acknowledgement waits overlap across holders.
 func (p *ercSW) LockRelease(s *core.SyncEvent) {
 	node := s.Node
 	pages := make([]core.Page, 0, len(p.dirty[node]))
@@ -113,6 +115,7 @@ func (p *ercSW) LockRelease(s *core.SyncEvent) {
 		pages = append(pages, pg)
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	b := p.d.NewBatch(s.Thread)
 	for _, pg := range pages {
 		delete(p.dirty[node], pg)
 		e := p.d.Entry(node, pg)
@@ -124,7 +127,10 @@ func (p *ercSW) LockRelease(s *core.SyncEvent) {
 			continue
 		}
 		cs := e.TakeCopyset()
-		core.InvalidateCopies(p.d, s.Thread, pg, cs, -1)
 		e.Unlock(s.Thread)
+		for _, n := range cs {
+			b.Invalidate(n, pg, -1)
+		}
 	}
+	b.Flush(true)
 }

@@ -124,6 +124,14 @@ func (p *hbrcMW) LockAcquire(*core.SyncEvent) {}
 // LockRelease computes the diffs of every page written since the last
 // release, sends them to the home nodes (blocking until applied), and
 // write-protects the local copies again so later writes re-twin.
+//
+// Everything leaves through one outbox: the diffs bound for one home and the
+// invalidations of home-side writes coalesce into a single envelope per
+// destination, flushed in canonical order with one wait at the end. At a
+// barrier with batching enabled no invalidation travels at all — the dirty
+// pages become write notices piggybacked on the barrier, and every
+// participant drops its stale copies when the barrier releases (the
+// TreadMarks-style aggregation the batched path exists for).
 func (p *hbrcMW) LockRelease(s *core.SyncEvent) {
 	node := s.Node
 	pages := make([]core.Page, 0, len(p.dirty[node]))
@@ -131,63 +139,71 @@ func (p *hbrcMW) LockRelease(s *core.SyncEvent) {
 		pages = append(pages, pg)
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-	byHome := make(map[int][]*memory.Diff)
-	var homes []int
+	b := p.d.NewBatch(s.Thread)
+	useNotices := s.Barrier && p.d.NoticesUsable(s.Lock)
 	for _, pg := range pages {
 		delete(p.dirty[node], pg)
 		e := p.d.Entry(node, pg)
 		e.Lock(s.Thread)
 		diff := core.TwinDiff(p.d, node, e)
 		p.d.Space(node).SetAccess(pg, memory.ReadOnly)
-		e.Unlock(s.Thread)
 		if diff == nil {
+			e.Unlock(s.Thread)
 			continue
 		}
 		if e.Home == node {
-			// Writes at the home are already in the reference copy;
-			// just invalidate the remote copies.
-			p.homeCommit(s, pg, diff)
+			// Writes at the home are already in the reference copy; the
+			// remote copies must go — eagerly, or via a barrier notice.
+			// No copies, no notice: the copyset stays in place (a late
+			// fetch may still join it) and the barrier prunes it.
+			if useNotices {
+				empty := len(e.Copyset) == 0
+				e.Unlock(s.Thread)
+				if !empty {
+					p.d.QueueWriteNotice(s.Thread, s.Lock, pg)
+				}
+				continue
+			}
+			cs := e.TakeCopyset()
+			e.Unlock(s.Thread)
+			for _, n := range cs {
+				b.Invalidate(n, pg, -1)
+			}
 			continue
 		}
-		if _, seen := byHome[e.Home]; !seen {
-			homes = append(homes, e.Home)
+		e.Unlock(s.Thread)
+		b.Diff(e.Home, diff, useNotices)
+		if useNotices {
+			p.d.QueueWriteNotice(s.Thread, s.Lock, pg)
 		}
-		byHome[e.Home] = append(byHome[e.Home], diff)
 	}
-	sort.Ints(homes)
-	for _, h := range homes {
-		core.SendDiffsHome(p.d, s.Thread, h, byHome[h], true)
-	}
-}
-
-// homeCommit propagates a home-side write: no diff needs to travel, but
-// third-party copies must be invalidated exactly as if a diff had arrived.
-func (p *hbrcMW) homeCommit(s *core.SyncEvent, pg core.Page, diff *memory.Diff) {
-	e := p.d.Entry(s.Node, pg)
-	e.Lock(s.Thread)
-	cs := e.TakeCopyset()
-	e.Unlock(s.Thread)
-	core.InvalidateCopies(p.d, s.Thread, pg, cs, -1)
+	b.Flush(true)
 }
 
 // DiffServer runs at the home: apply the writer's diffs to the reference
-// copy, then invalidate every other copy; invalidated writers flush their
-// own diffs back (handled by InvalidateServer above).
+// copy, then invalidate every other copy — all pages' invalidations through
+// one outbox, one envelope per holder; invalidated writers flush their own
+// diffs back (handled by InvalidateServer above). Noticed diffs skip the
+// eager invalidation entirely: the writer queued barrier write notices and
+// the stale copies drop themselves at the barrier.
 func (p *hbrcMW) DiffServer(dm *core.DiffMsg) {
 	core.ApplyDiffs(dm)
+	if dm.Noticed {
+		return
+	}
+	b := p.d.NewBatch(dm.Thread)
 	for _, df := range dm.Diffs {
 		e := p.d.Entry(dm.Node, df.Page)
 		e.Lock(dm.Thread)
 		cs := e.TakeCopyset()
-		var invalidate []int
 		for _, n := range cs {
 			if n == dm.From {
 				e.AddCopyset(n) // the sender keeps its copy
 			} else {
-				invalidate = append(invalidate, n)
+				b.Invalidate(n, df.Page, -1)
 			}
 		}
 		e.Unlock(dm.Thread)
-		core.InvalidateCopies(p.d, dm.Thread, df.Page, invalidate, -1)
 	}
+	b.Flush(true)
 }

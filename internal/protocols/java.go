@@ -97,7 +97,6 @@ func (p *java) ReceivePageServer(pm *core.PageMsg) { core.InstallPage(pm) }
 func (p *java) LockAcquire(s *core.SyncEvent) {
 	node := s.Node
 	byHome := make(map[int][]*memory.Diff)
-	var homes []int
 	for _, pg := range p.d.PagesOn(node) {
 		e := p.d.Entry(node, pg)
 		if e.Home == node {
@@ -110,9 +109,6 @@ func (p *java) LockAcquire(s *core.SyncEvent) {
 		e.Lock(s.Thread)
 		if p.d.Space(node).Frame(pg) != nil {
 			if diff := core.TakeRecorded(e); diff != nil {
-				if _, seen := byHome[e.Home]; !seen {
-					homes = append(homes, e.Home)
-				}
 				byHome[e.Home] = append(byHome[e.Home], diff)
 			}
 			p.d.Space(node).Drop(pg)
@@ -120,10 +116,8 @@ func (p *java) LockAcquire(s *core.SyncEvent) {
 		delete(p.dirty[node], pg)
 		e.Unlock(s.Thread)
 	}
-	sort.Ints(homes)
-	for _, h := range homes {
-		core.SendDiffsHome(p.d, s.Thread, h, byHome[h], true)
-	}
+	// One envelope per home, waits overlapped across homes.
+	core.SendDiffsBatched(p.d, s.Thread, byHome, false, true)
 }
 
 // LockRelease transmits the modifications recorded since the last release to
@@ -137,7 +131,6 @@ func (p *java) LockRelease(s *core.SyncEvent) {
 	}
 	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 	byHome := make(map[int][]*memory.Diff)
-	var homes []int
 	for _, pg := range pages {
 		delete(p.dirty[node], pg)
 		e := p.d.Entry(node, pg)
@@ -147,15 +140,9 @@ func (p *java) LockRelease(s *core.SyncEvent) {
 		if diff == nil {
 			continue
 		}
-		if _, seen := byHome[e.Home]; !seen {
-			homes = append(homes, e.Home)
-		}
 		byHome[e.Home] = append(byHome[e.Home], diff)
 	}
-	sort.Ints(homes)
-	for _, h := range homes {
-		core.SendDiffsHome(p.d, s.Thread, h, byHome[h], true)
-	}
+	core.SendDiffsBatched(p.d, s.Thread, byHome, false, true)
 }
 
 // DiffServer applies arriving modifications to the reference copy at the
