@@ -15,6 +15,7 @@
 //	dsmbench -exp kernel       # simulator wall-clock efficiency (events/sec)
 //	dsmbench -exp faults       # crash/restart fault plans on restart-aware jacobi
 //	dsmbench -exp comm         # batched vs unbatched communication path
+//	dsmbench -exp adapt        # sharing-pattern profiler + dynamic home migration
 //
 // The comm experiment (excluded from "all", like kernel) runs jacobi,
 // matmul and lu at 16-64 nodes on both communication paths and reports the
@@ -22,6 +23,14 @@
 // as one envelope), the DSM module's own counters, and the TimingLog.ByLink
 // summaries. With -json it writes the committed BENCH_comm.json snapshot.
 // All numbers are virtual-time exact and deterministic per seed.
+//
+// The adapt experiment (excluded from "all", like kernel) starts jacobi, lu
+// and matmul at 16-64 nodes from deliberately misplaced homes (everything on
+// node 0) and compares static placement against the online profiler's home
+// migration: remote and misplaced fetch counts, completed migrations, diff
+// traffic, and the per-epoch sharing-class histogram. With -json it writes
+// the committed BENCH_adapt.json snapshot. All numbers are virtual-time
+// exact and deterministic per seed.
 //
 // The faults experiment (excluded from "all", like kernel) runs the
 // restart-aware jacobi kernel under a declarative fault plan and reports,
@@ -186,6 +195,13 @@ func realMain() (code int) {
 		any = true
 		if err := comm(*jsonOut); err != nil {
 			log.Printf("comm: %v", err)
+			return 1
+		}
+	}
+	if *exp == "adapt" { // explicit opt-in, not part of "all"
+		any = true
+		if err := adapt(*jsonOut); err != nil {
+			log.Printf("adapt: %v", err)
 			return 1
 		}
 	}
@@ -523,6 +539,69 @@ func comm(writeJSON bool) error {
 		return fmt.Errorf("-json: %w", err)
 	}
 	fmt.Printf("wrote %s\n", benchCommFile)
+	return nil
+}
+
+// benchAdaptFile is the placement-accounting snapshot the adapt experiment
+// writes with -json.
+const benchAdaptFile = "BENCH_adapt.json"
+
+// adaptSnapshot is the BENCH_adapt.json document.
+type adaptSnapshot struct {
+	Experiment string              `json:"experiment"`
+	Results    []bench.AdaptResult `json:"results"`
+}
+
+// adapt compares static (misplaced) page placement against the online
+// profiler's dynamic home migration across the barrier-phased applications.
+func adapt(writeJSON bool) error {
+	header("Adapt: static (misplaced) homes vs online profiler + home migration")
+	results := bench.AdaptSuite()
+	fmt.Printf("%-10s %-10s %6s %10s %8s %10s %7s %8s %10s %12s\n",
+		"app", "protocol", "nodes", "placement", "remote", "misplaced", "migr", "diffs", "diffbytes", "elapsed(ms)")
+	placement := func(adaptive bool) string {
+		if adaptive {
+			return "adaptive"
+		}
+		return "static"
+	}
+	byKey := map[string]bench.AdaptResult{}
+	for _, r := range results {
+		byKey[fmt.Sprintf("%s/%s/%d/%v", r.App, r.Protocol, r.Nodes, r.Adaptive)] = r
+		fmt.Printf("%-10s %-10s %6d %10s %8d %10d %7d %8d %10d %12.2f\n",
+			r.App, r.Protocol, r.Nodes, placement(r.Adaptive), r.RemoteFetches,
+			r.MisplacedFetches, r.HomeMigrations, r.DiffsSent, r.DiffBytes, r.VirtualMS)
+		if r.Adaptive && len(r.Epochs) > 0 {
+			last := r.Epochs[len(r.Epochs)-1]
+			fmt.Printf("    epochs=%d, last histogram: private=%d read-shared=%d prod-cons=%d migratory=%d falsely-shared=%d idle=%d\n",
+				len(r.Epochs), last.Private, last.ReadShared, last.ProducerConsumer,
+				last.Migratory, last.FalselyShared, last.Idle)
+		}
+	}
+	s, a := byKey["jacobi/entry_mw/64/false"], byKey["jacobi/entry_mw/64/true"]
+	if a.RemoteFetches > 0 {
+		fmt.Printf("jacobi 64-node remote-fetch reduction: %.2fx (%d -> %d); elapsed %.2f -> %.2f ms; %d home migrations\n",
+			float64(s.RemoteFetches)/float64(a.RemoteFetches), s.RemoteFetches, a.RemoteFetches,
+			s.VirtualMS, a.VirtualMS, a.HomeMigrations)
+	}
+	fmt.Println("(all scenarios start with every page homed on node 0; 'adaptive' lets the")
+	fmt.Println(" profiler re-home pages onto their dominant writers at barrier epochs. The")
+	fmt.Println(" matmul row is the barrier-free control: no epochs, no migrations, no cost)")
+	if !writeJSON {
+		return nil
+	}
+	snap := adaptSnapshot{Experiment: "adapt", Results: results}
+	f, err := os.Create(benchAdaptFile)
+	if err != nil {
+		return fmt.Errorf("-json: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&snap); err != nil {
+		return fmt.Errorf("-json: %w", err)
+	}
+	fmt.Printf("wrote %s\n", benchAdaptFile)
 	return nil
 }
 

@@ -33,6 +33,18 @@
 // delay. Fault records attribute themselves to the link class their page
 // transfer crossed (FaultTiming.Link, TimingLog.ByLink).
 //
+// Placement can adapt online: Config.AdaptiveHomes enables the
+// sharing-pattern profiler, which counts faults, fetches and diffs per
+// (page, node), folds them into epochs at cluster-wide barriers, classifies
+// each page (private, read-shared, producer-consumer, migratory,
+// falsely-shared), and re-homes pages onto their stable dominant writers via
+// a handshake whose metadata update rides the barrier grant. The adaptive
+// protocol consumes the same classifier to pick thread migration vs page
+// policy per page. Stats.HomeMigrations/RemoteFetches/MisplacedFetches and
+// System.ProfileEpochs expose the accounting; `dsmbench -exp adapt [-json]`
+// runs the static-vs-adaptive placement experiment and writes
+// BENCH_adapt.json. See DESIGN.md ("Access profiling & home migration").
+//
 // The platform also injects failures: a FaultPlan is a declarative,
 // seed-driven schedule of node crashes/restarts, link partitions/heals and
 // message loss, applied through System.InjectFaults. The network drops or

@@ -37,6 +37,13 @@ type (
 	LinkMatrix = madeleine.LinkMatrix
 	// LinkSummary aggregates fault costs per link class.
 	LinkSummary = core.LinkSummary
+	// PageClass is the sharing pattern the access profiler assigns a page.
+	PageClass = core.PageClass
+	// EpochProfile is one profiler epoch's classification histogram.
+	EpochProfile = core.EpochProfile
+	// ProfilerConfig parameterizes the access profiler and its home-
+	// migration decision engine.
+	ProfilerConfig = core.ProfilerConfig
 	// Time is virtual time.
 	Time = sim.Time
 	// Duration is virtual duration.
@@ -111,6 +118,12 @@ type Config struct {
 	// destination, and barriers carry no write notices. Off by default;
 	// keep it selectable for A/B comparison (`dsmbench -exp comm`).
 	UnbatchedComm bool
+	// AdaptiveHomes enables the online sharing-pattern profiler AND its
+	// home-migration decision engine: page accesses are counted per
+	// (page, node), folded into epochs at cluster-wide barriers, and pages
+	// are re-homed onto their dominant writers (`dsmbench -exp adapt`).
+	// Off by default — placement then stays exactly as allocated.
+	AdaptiveHomes bool
 	// Protocol names the default consistency protocol (default
 	// "li_hudak"); see ProtocolNames for the list.
 	Protocol string
@@ -172,6 +185,9 @@ func New(cfg Config) (*System, error) {
 	}
 	if err := s.SetDefaultProtocol(cfg.Protocol); err != nil {
 		return nil, err
+	}
+	if cfg.AdaptiveHomes {
+		d.EnableProfiler(core.ProfilerConfig{Migrate: true})
 	}
 	return s, nil
 }
@@ -276,6 +292,15 @@ func (s *System) Stats() Stats { return s.dsm.Stats() }
 
 // Timings exposes the recorded fault timings (Tables 3/4 style records).
 func (s *System) Timings() *core.TimingLog { return s.dsm.Timings() }
+
+// EnableProfiler switches on the access-pattern profiler with an explicit
+// configuration (Config.AdaptiveHomes is the common shorthand for
+// ProfilerConfig{Migrate: true}). Call before Run.
+func (s *System) EnableProfiler(cfg ProfilerConfig) { s.dsm.EnableProfiler(cfg) }
+
+// ProfileEpochs returns the profiler's per-epoch classification histograms
+// (nil when the profiler is off).
+func (s *System) ProfileEpochs() []EpochProfile { return s.dsm.ProfileEpochs() }
 
 // Trace returns the post-mortem span log (nil unless Config.Trace was set).
 func (s *System) Trace() *trace.Log { return s.tr }

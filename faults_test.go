@@ -41,8 +41,16 @@ const (
 	// shows up here immediately. Re-pinned once when the batched
 	// communication path became the default; the pre-batching values were
 	// db46952256e2284f165f41bed80b505917bc0761f33df0edca4deabe671b89ad at
-	// 21463006 ns (see EXPERIMENTS.md, "Communication batching").
-	goldenFaultyJacobiFingerprint = "492301af9adf179b3533f13da272b75db51e27e01dad4ac666c36a720132ee28"
+	// 21463006 ns (see EXPERIMENTS.md, "Communication batching"). Re-pinned
+	// again when the profiler PR landed: core.Stats gained the placement
+	// counters (the digest covers the rendered stats struct), and the
+	// recovery sweep was hardened against the dead regime's in-flight
+	// messages (promoted homes re-run InitPage, pending fetches are
+	// retired at the sweep, invalidations from since-crashed senders are
+	// ignored — see recovery.go/comm.go). Previous digest
+	// 492301af9adf179b3533f13da272b75db51e27e01dad4ac666c36a720132ee28;
+	// elapsed below is unchanged — no virtual timestamp moved.
+	goldenFaultyJacobiFingerprint = "7ed8e7f14bdf6d5642ab15e4ff3c4a6322e6b289e09779fd9794c64fcc52f99a"
 	// Elapsed is the computation's end (last worker finish), not the
 	// drain time of trailing fault-plan events.
 	goldenFaultyJacobiElapsed = dsmpm2.Time(20924104)

@@ -32,8 +32,15 @@ const (
 	// barrier write notices): the pre-batching values were
 	// b707c106e00ee96209ee79d9528198c20e8e315212d4918c868ee9c8ed7fd8f2 at
 	// 1329800 ns — batching cut this run's virtual time by ~6.2% (see
-	// EXPERIMENTS.md, "Communication batching").
-	goldenJacobiFingerprint = "d6e7cd418ca5960af807a11e8865b3e7e67d535c00ee5559666b9a5d5fa505a3"
+	// EXPERIMENTS.md, "Communication batching"). Re-pinned again when
+	// core.Stats gained the placement counters (RemoteFetches,
+	// MisplacedFetches, HomeMigrations): the digest covers the stats
+	// struct's rendered form, so new fields change the hash even at zero.
+	// The previous digest was
+	// d6e7cd418ca5960af807a11e8865b3e7e67d535c00ee5559666b9a5d5fa505a3;
+	// the elapsed pin below is unchanged — with the profiler off, not one
+	// virtual timestamp moved.
+	goldenJacobiFingerprint = "17ff59c2123a7ca166e8666ef280cb9a58fd76c7be87a58975aef784672aac64"
 	// goldenJacobiElapsed is the run's total virtual time, pinned
 	// separately so a mismatch gives an immediately readable signal.
 	goldenJacobiElapsed = dsmpm2.Time(1247233)

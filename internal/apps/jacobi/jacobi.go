@@ -39,6 +39,13 @@ type Config struct {
 	// Unbatched selects the one-envelope-per-operation communication path
 	// (A/B baseline for the comm experiment).
 	Unbatched bool
+	// MisplaceHomes homes every grid row on node 0 instead of on the node
+	// that writes it — the deliberately bad static placement the adapt
+	// experiment starts from.
+	MisplaceHomes bool
+	// AdaptiveHomes enables the access-pattern profiler and dynamic home
+	// migration: misplaced rows move onto their writers at barrier epochs.
+	AdaptiveHomes bool
 
 	// FaultPlan, when set, selects the restart-aware variant of the
 	// kernel: all grid pages are homed on node 0 (a home-based protocol
@@ -126,6 +133,7 @@ func Run(cfg Config) (Result, error) {
 		Protocol:      cfg.Protocol,
 		Seed:          cfg.Seed,
 		UnbatchedComm: cfg.Unbatched,
+		AdaptiveHomes: cfg.AdaptiveHomes,
 	})
 	if err != nil {
 		return Result{}, err
@@ -137,7 +145,12 @@ func Run(cfg Config) (Result, error) {
 	rowBytes := (n + 2) * 8
 
 	// Two grids, each distributed row-block by row-block so every block is
-	// homed on the node that writes it.
+	// homed on the node that writes it — unless MisplaceHomes parks
+	// everything on node 0 for the adapt experiment.
+	var attr *dsmpm2.Attr
+	if cfg.MisplaceHomes {
+		attr = &dsmpm2.Attr{Protocol: -1, Home: 0}
+	}
 	grids := [2][]dsmpm2.Addr{make([]dsmpm2.Addr, n+2), make([]dsmpm2.Addr, n+2)}
 	ownerOf := func(row int) int {
 		if row == 0 {
@@ -150,7 +163,7 @@ func Run(cfg Config) (Result, error) {
 	}
 	for g := 0; g < 2; g++ {
 		for row := 0; row <= n+1; row++ {
-			grids[g][row] = sys.MustMalloc(ownerOf(row), rowBytes, nil)
+			grids[g][row] = sys.MustMalloc(ownerOf(row), rowBytes, attr)
 		}
 	}
 

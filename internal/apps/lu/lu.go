@@ -33,6 +33,12 @@ type Config struct {
 	// Unbatched selects the one-envelope-per-operation communication path
 	// (A/B baseline for the comm experiment).
 	Unbatched bool
+	// MisplaceHomes homes every matrix row on node 0 instead of on its
+	// round-robin owner (the adapt experiment's bad static placement).
+	MisplaceHomes bool
+	// AdaptiveHomes enables the access-pattern profiler and dynamic home
+	// migration.
+	AdaptiveHomes bool
 }
 
 // Result reports a run's outcome.
@@ -98,6 +104,7 @@ func Run(cfg Config) (Result, error) {
 		Protocol:      cfg.Protocol,
 		Seed:          cfg.Seed,
 		UnbatchedComm: cfg.Unbatched,
+		AdaptiveHomes: cfg.AdaptiveHomes,
 	})
 	if err != nil {
 		return Result{}, err
@@ -106,9 +113,13 @@ func Run(cfg Config) (Result, error) {
 	rowBytes := n * 8
 	ownerOf := func(row int) int { return row % cfg.Nodes } // round-robin deal
 
+	var attr *dsmpm2.Attr
+	if cfg.MisplaceHomes {
+		attr = &dsmpm2.Attr{Protocol: -1, Home: 0}
+	}
 	rows := make([]dsmpm2.Addr, n)
 	for i := 0; i < n; i++ {
-		rows[i] = sys.MustMalloc(ownerOf(i), rowBytes, nil)
+		rows[i] = sys.MustMalloc(ownerOf(i), rowBytes, attr)
 	}
 	a := Matrix(n, cfg.Seed)
 	for node := 0; node < cfg.Nodes; node++ {

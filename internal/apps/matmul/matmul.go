@@ -30,6 +30,14 @@ type Config struct {
 	// Unbatched selects the one-envelope-per-operation communication path
 	// (A/B baseline for the comm experiment).
 	Unbatched bool
+	// MisplaceHomes homes C's rows on node 0 instead of on their computing
+	// nodes (the adapt experiment's bad static placement). With no barriers
+	// in the kernel the profiler never folds an epoch, so this doubles as
+	// the adapt experiment's no-op control.
+	MisplaceHomes bool
+	// AdaptiveHomes enables the access-pattern profiler and dynamic home
+	// migration.
+	AdaptiveHomes bool
 }
 
 // Result reports a run's outcome.
@@ -86,6 +94,7 @@ func Run(cfg Config) (Result, error) {
 		Protocol:      cfg.Protocol,
 		Seed:          cfg.Seed,
 		UnbatchedComm: cfg.Unbatched,
+		AdaptiveHomes: cfg.AdaptiveHomes,
 	})
 	if err != nil {
 		return Result{}, err
@@ -94,7 +103,11 @@ func Run(cfg Config) (Result, error) {
 	rowBytes := n * 8
 
 	// A and B are homed on node 0 and replicated to readers on demand; C's
-	// rows are homed on their computing nodes.
+	// rows are homed on their computing nodes (or misplaced onto node 0).
+	var cAttr *dsmpm2.Attr
+	if cfg.MisplaceHomes {
+		cAttr = &dsmpm2.Attr{Protocol: -1, Home: 0}
+	}
 	aRows := make([]dsmpm2.Addr, n)
 	bRows := make([]dsmpm2.Addr, n)
 	cRows := make([]dsmpm2.Addr, n)
@@ -102,7 +115,7 @@ func Run(cfg Config) (Result, error) {
 	for i := 0; i < n; i++ {
 		aRows[i] = sys.MustMalloc(0, rowBytes, nil)
 		bRows[i] = sys.MustMalloc(0, rowBytes, nil)
-		cRows[i] = sys.MustMalloc(ownerOf(i), rowBytes, nil)
+		cRows[i] = sys.MustMalloc(ownerOf(i), rowBytes, cAttr)
 	}
 	av, bv := Matrices(n, cfg.Seed)
 	sys.Spawn(0, "init", func(t *dsmpm2.Thread) {

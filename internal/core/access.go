@@ -85,6 +85,7 @@ func (d *DSM) handleFault(t *pm2.Thread, flt *memory.Fault) {
 		Timing: ft,
 	}
 	d.nodeFaults[node]++
+	d.profFault(node, flt.Page, flt.Write)
 	if flt.Write {
 		d.stats.WriteFaults++
 		proto.WriteFaultHandler(f)

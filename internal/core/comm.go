@@ -142,6 +142,15 @@ func (d *DSM) registerServices() {
 
 		node.Register(svcInvald, true, func(h *pm2.Thread, arg interface{}) interface{} {
 			m := arg.(*invMsg)
+			if d.recovery != nil && d.NodeDead(m.from) {
+				// An invalidation from a node that has since crashed speaks
+				// for a dead regime: the recovery sweep already rebuilt the
+				// page's home/copyset around the crash, and applying the
+				// stale order could drop the promoted home's reference
+				// copy. Any copy it meant to kill is in the new home's
+				// copyset and dies at the next release instead.
+				return nil
+			}
 			// Any invalidation supersedes a page copy still in flight
 			// to this node (see Entry.InvalSeq).
 			d.Entry(h.Node(), m.page).InvalSeq++

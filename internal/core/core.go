@@ -111,6 +111,11 @@ type DSM struct {
 	// until EnableRecovery is called. See recovery.go.
 	recovery *recoveryState
 
+	// prof is the sharing-pattern profiler and home-migration decision
+	// engine: nil (and completely inert) until EnableProfiler is called.
+	// See profiler.go and migrate.go.
+	prof *profilerState
+
 	// batch selects the communication path: true (the default) coalesces
 	// the operations accumulated in a Batch into one multi-part envelope
 	// per destination and lets barriers piggyback write notices; false
@@ -257,6 +262,9 @@ func (d *DSM) Malloc(node, size int, attr *Attr) (Addr, error) {
 		d.Entry(home, pg).Owner = true
 		if init, ok := d.instance(proto).(PageInitializer); ok {
 			init.InitPage(pg, home)
+		}
+		if d.prof != nil {
+			d.prof.track(pg)
 		}
 	}
 	d.stats.Allocs++

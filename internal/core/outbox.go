@@ -91,6 +91,7 @@ func (b *Batch) Invalidate(dest int, pg Page, newOwner int) {
 // the home's eager third-party invalidation to the sender's barrier write
 // notices.
 func (b *Batch) Diff(dest int, diff *memory.Diff, noticed bool) {
+	b.d.profDiff(b.node, diff.Page)
 	db := b.dest(dest)
 	db.diffs = append(db.diffs, diff)
 	db.noticed = append(db.noticed, noticed)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"dsmpm2/internal/memory"
@@ -48,6 +49,7 @@ func FetchPage(f *Fault, write bool) {
 	dest := e.ProbOwner
 	e.Unlock(t)
 
+	d.profFetch(f.Node, f.Page, dest)
 	d.sendRequest(f.Node, dest, &reqMsg{
 		page:   f.Page,
 		from:   f.Node,
@@ -82,6 +84,7 @@ func FetchPage(f *Fault, write bool) {
 		dest = e.ProbOwner
 		e.Unlock(t)
 		d.recovery.stats.Retries++
+		d.profFetch(f.Node, f.Page, dest)
 		d.sendRequest(f.Node, dest, &reqMsg{
 			page:   f.Page,
 			from:   f.Node,
@@ -142,7 +145,8 @@ func SendPage(r *Request, e *Entry, dest int, access memory.Access, ownship bool
 	}
 	frame := d.state[r.Node].space.Frame(e.Page)
 	if frame == nil {
-		panic("core: SendPage on a node without a copy")
+		panic(fmt.Sprintf("core: SendPage on node %d without a copy of page %d (request from %d)",
+			r.Node, e.Page, r.From))
 	}
 	// The wire copy is pooled; InstallPage returns it once installed.
 	data := d.bufs.Get()
@@ -439,7 +443,21 @@ func SendDiffsHome(d *DSM, t *pm2.Thread, dest int, diffs []*memory.Diff, wait b
 	if len(diffs) == 0 {
 		return
 	}
+	for _, df := range diffs {
+		d.profDiff(t.Node(), df.Page)
+	}
 	d.sendDiffs(t, dest, diffs, wait)
+}
+
+// Classification returns pg's sharing class and dominant writer from the
+// profiler's last completed epoch (ClassIdle, -1 when the profiler is off or
+// no epoch has closed). This is the toolbox hook protocols consume to pick a
+// mechanism per page — the adaptive protocol switches between page fetching
+// and thread migration on it, and every toolbox-composed protocol inherits
+// the classifier-driven home placement for free, because FetchPage, the diff
+// paths and the outbox feed the counters the classifier folds.
+func Classification(d *DSM, pg Page) (PageClass, int) {
+	return d.PageClassOf(pg)
 }
 
 // ApplyDiffs patches the local copies with arriving diffs; the standard body

@@ -242,6 +242,13 @@ func (d *DSM) rehomePages(n int) {
 		e.Owner = true
 		e.Home = best
 		e.ProbOwner = best
+		// Restore the protocol's home invariants on the promoted copy: a
+		// promoted writable CACHED copy must not stay silently writable at
+		// its new home — hbrc_mw/entry_mw detect home writes only through
+		// the write-protection their InitPage installs, and without it a
+		// re-homed page's later writes would never generate diffs, notices
+		// or invalidations, leaving third-party copies stale forever.
+		d.reinitHome(pg, best)
 		var copyset []int
 		for i := 0; i < d.rt.Nodes(); i++ {
 			if i == best || rec.dead[i] {
@@ -273,6 +280,15 @@ func (d *DSM) scrubEntries(pg Page, n, target int) {
 			e.ProbOwner = target
 		}
 		e.Home = home
+		if e.Pending {
+			// A fetch is in flight across the crash. Its response may have
+			// left the dead node before the fail-stop and land after this
+			// sweep — installing a copy the rebuilt copyset knows nothing
+			// about, stale forever. Retire it: the bumped InvalSeq makes
+			// InstallPage discard the late response, and the fetch retries
+			// toward the repaired owner hint on its recovery timeout.
+			e.InvalSeq++
+		}
 	}
 }
 

@@ -44,6 +44,15 @@ type Stats struct {
 	ObjFetches int64
 
 	Migrations int64
+
+	// Placement accounting (see profiler.go / migrate.go). RemoteFetches
+	// counts page requests sent to another node (always maintained);
+	// MisplacedFetches counts the subset issued by a page's profiled
+	// dominant writer while the page was homed elsewhere — the traffic home
+	// migration removes; HomeMigrations counts completed re-homings.
+	RemoteFetches    int64
+	MisplacedFetches int64
+	HomeMigrations   int64
 }
 
 // Stats returns a snapshot of the DSM's counters.

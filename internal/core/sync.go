@@ -60,11 +60,13 @@ type barrierState struct {
 }
 
 // barrierGrant is the value a completing barrier hands every participant:
-// the aggregated write notices of the generation, in canonical order.
-// Parked arrivals receive it through their waiter channel; the last arrival
-// returns it directly as the RPC result.
+// the aggregated write notices of the generation plus the home-migration
+// notices the epoch's decisions produced, both in canonical order. Parked
+// arrivals receive it through their waiter channel; the last arrival returns
+// it directly as the RPC result.
 type barrierGrant struct {
-	notices []WriteNotice
+	notices    []WriteNotice
+	migrations []MigrationNotice
 }
 
 // grantReply wraps a grant for the RPC reply, charging the wire for the
@@ -73,7 +75,8 @@ func grantReply(g *barrierGrant) interface{} {
 	if g == nil {
 		return nil
 	}
-	return &pm2.SizedReply{Value: g, Size: ctrlBytes + noticeBytes*len(g.notices)}
+	return &pm2.SizedReply{Value: g,
+		Size: ctrlBytes + noticeBytes*(len(g.notices)+len(g.migrations))}
 }
 
 // NewLock creates a cluster-wide lock managed by node home and returns its
@@ -189,8 +192,8 @@ func (d *DSM) registerSyncServices() {
 			}
 			bs := d.barriers[req.id]
 			if req.participant >= 0 && req.gen > bs.gen {
-				panic(fmt.Sprintf("core: barrier %d arrival for future generation %d (current %d)",
-					req.id, req.gen, bs.gen))
+				panic(fmt.Sprintf("core: barrier %d arrival for future generation %d (current %d) from=%d participant=%d",
+					req.id, req.gen, bs.gen, req.from, req.participant))
 			}
 			// Notices fold in before any early return: a stale-generation
 			// re-arrival's notices were already drained from the node, so
@@ -227,7 +230,8 @@ func (d *DSM) registerSyncServices() {
 				bs.gen++
 				grant := &barrierGrant{notices: canonicalNotices(bs.notices)}
 				bs.notices = nil
-				if len(grant.notices) > 0 && !d.noticeCoverage(bs) {
+				covered := d.noticeCoverage(bs)
+				if len(grant.notices) > 0 && !covered {
 					// Fail fast: distributing notices to a generation that
 					// did not hear from every live node would leave the
 					// uncovered nodes' copies stale forever. NoticesUsable
@@ -236,10 +240,32 @@ func (d *DSM) registerSyncServices() {
 					panic(fmt.Sprintf("core: barrier %d released write notices without hearing from every node (notices require one participant per node)", bs.id))
 				}
 				bs.arrivedNodes = nil
-				for _, w := range bs.waiters {
+				// Snapshot THIS generation's waiters before anything below
+				// can block: the migration handshakes yield the token, and
+				// a restarted participant may race through the completed
+				// generation and park for the NEXT one meanwhile — that
+				// park must land in the fresh waiter list, not receive this
+				// generation's grant.
+				waiters := bs.waiters
+				bs.waiters = nil
+				if d.prof != nil && bs.n >= d.rt.Nodes() && covered && !d.prof.folding {
+					// A cluster-wide generation completed with an arrival
+					// from every live node (the same coverage write notices
+					// demand — migration notices ride this grant, and an
+					// uncovered node would keep routing to the demoted old
+					// home): fold the profiler epoch and, with migration
+					// enabled, re-home the nominated pages now. Every
+					// participant of this generation is parked, so the
+					// pages are quiescent.
+					d.prof.folding = true
+					ep, cands := d.foldEpoch()
+					grant.migrations = d.runMigrations(h, &ep, cands)
+					d.closeEpoch(ep)
+					d.prof.folding = false
+				}
+				for _, w := range waiters {
 					w.ch.Push(grant)
 				}
-				bs.waiters = nil
 				return grantReply(grant)
 			}
 			w := &barrierWaiter{ch: new(sim.Chan), participant: req.participant}
@@ -344,8 +370,15 @@ func (d *DSM) BarrierAs(t *pm2.Thread, id, participant, gen int) {
 		notices: d.takeNotices(t.Node(), id)}
 	res := t.Call(d.barriers[id].home, svcBarrier, req,
 		ctrlBytes+noticeBytes*len(req.notices), ctrlBytes)
-	if g, ok := res.(*barrierGrant); ok && len(g.notices) > 0 {
-		d.applyNotices(t, g.notices)
+	if g, ok := res.(*barrierGrant); ok {
+		// Migrations first: the write notices (and the protocols' acquire
+		// hooks below) must see the post-migration placement.
+		if len(g.migrations) > 0 {
+			d.applyMigrations(t, g.migrations)
+		}
+		if len(g.notices) > 0 {
+			d.applyNotices(t, g.notices)
+		}
 	}
 	d.eachInstance(func(p Protocol) { p.LockAcquire(ev) })
 }

@@ -1,0 +1,179 @@
+package isomalloc
+
+import "testing"
+
+// Table-driven alignment tests: every allocation must be page-rounded and
+// page-aligned for any page size, including the degenerate 1-byte page.
+func TestAllocAlignmentTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		pageSize int
+		request  int
+		wantSize int
+	}{
+		{"one-byte", 4096, 1, 4096},
+		{"page-minus-one", 4096, 4095, 4096},
+		{"exact-page", 4096, 4096, 4096},
+		{"page-plus-one", 4096, 4097, 8192},
+		{"two-pages", 4096, 8192, 8192},
+		{"large-odd", 4096, 3*4096 + 17, 4 * 4096},
+		{"small-pages", 256, 300, 512},
+		{"tiny-page-size", 1, 7, 7},
+		{"big-page-size", 1 << 16, 1, 1 << 16},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := New(2, tc.pageSize)
+			r, err := a.Alloc(1, tc.request)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Size != tc.wantSize {
+				t.Fatalf("Alloc(%d) size = %d, want %d", tc.request, r.Size, tc.wantSize)
+			}
+			if int(r.Base)%tc.pageSize != 0 {
+				t.Fatalf("base %#x not aligned to page size %d", r.Base, tc.pageSize)
+			}
+			if r.Node != 1 {
+				t.Fatalf("range node = %d, want 1", r.Node)
+			}
+		})
+	}
+}
+
+// Table-driven OwnerSlice edges: the static segment below slice 0, the first
+// and last byte of each slice, and addresses past the last slice.
+func TestOwnerSliceEdgesTable(t *testing.T) {
+	const nodes = 3
+	a := New(nodes, 4096)
+	slice := func(n int) Addr { return Addr(n+1) * SliceBytes }
+	cases := []struct {
+		name string
+		addr Addr
+		want int
+	}{
+		{"zero", 0, -1},
+		{"static-base", StaticBase, -1},
+		{"below-first-slice", slice(0) - 1, -1},
+		{"first-slice-first-byte", slice(0), 0},
+		{"first-slice-last-byte", slice(1) - 1, 0},
+		{"second-slice-first-byte", slice(1), 1},
+		{"last-slice-last-byte", slice(nodes) - 1, nodes - 1},
+		{"past-last-slice", slice(nodes), -1},
+		{"far-past", slice(nodes) + 12345678, -1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := a.OwnerSlice(tc.addr); got != tc.want {
+				t.Fatalf("OwnerSlice(%#x) = %d, want %d", tc.addr, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestSliceExhaustion: a node's slice is finite, exhausting it reports
+// ErrOutOfSlice, and other nodes' slices are unaffected.
+func TestSliceExhaustion(t *testing.T) {
+	a := New(2, 4096)
+	if _, err := a.Alloc(0, SliceBytes); err != nil {
+		t.Fatalf("whole-slice allocation failed: %v", err)
+	}
+	if _, err := a.Alloc(0, 4096); err != ErrOutOfSlice {
+		t.Fatalf("allocation past slice end returned %v, want ErrOutOfSlice", err)
+	}
+	if _, err := a.Alloc(1, 4096); err != nil {
+		t.Fatalf("node 1 affected by node 0's exhaustion: %v", err)
+	}
+	// An oversized single request fails up front without burning the slice.
+	b := New(1, 4096)
+	if _, err := b.Alloc(0, SliceBytes+4096); err != ErrOutOfSlice {
+		t.Fatalf("oversized allocation returned %v, want ErrOutOfSlice", err)
+	}
+	if _, err := b.Alloc(0, 4096); err != nil {
+		t.Fatalf("slice unusable after oversized attempt: %v", err)
+	}
+}
+
+// Table-driven Range boundary semantics: Contains is [Base, End).
+func TestRangeContainsTable(t *testing.T) {
+	r := Range{Base: 0x40000000, Size: 8192, Node: 0}
+	cases := []struct {
+		name string
+		addr Addr
+		want bool
+	}{
+		{"below", r.Base - 1, false},
+		{"first-byte", r.Base, true},
+		{"interior", r.Base + 4096, true},
+		{"last-byte", r.End() - 1, true},
+		{"end", r.End(), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := r.Contains(tc.addr); got != tc.want {
+				t.Fatalf("Contains(%#x) = %v, want %v", tc.addr, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestLookupBoundaries: Lookup resolves first/last bytes of a live range,
+// misses freed ranges, and Live stays sorted by base.
+func TestLookupBoundaries(t *testing.T) {
+	a := New(2, 4096)
+	r1, _ := a.Alloc(0, 4096)
+	r2, _ := a.Alloc(1, 8192)
+	if got, ok := a.Lookup(r2.Base); !ok || got.Base != r2.Base {
+		t.Fatalf("Lookup(first byte) = %+v %v", got, ok)
+	}
+	if got, ok := a.Lookup(r2.End() - 1); !ok || got.Base != r2.Base {
+		t.Fatalf("Lookup(last byte) = %+v %v", got, ok)
+	}
+	if _, ok := a.Lookup(r1.Base - 1); ok {
+		t.Fatal("Lookup below range succeeded")
+	}
+	live := a.Live()
+	if len(live) != 2 || live[0].Base != r1.Base || live[1].Base != r2.Base {
+		t.Fatalf("Live() = %+v", live)
+	}
+	if err := a.Free(r1.Base); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Lookup(r1.Base); ok {
+		t.Fatal("Lookup found freed range")
+	}
+	if live := a.Live(); len(live) != 1 || live[0].Base != r2.Base {
+		t.Fatalf("Live() after free = %+v", live)
+	}
+}
+
+// TestFreeListFirstFit: the free list serves the first block that fits, in
+// free order, splitting larger blocks and keeping remainders reusable.
+func TestFreeListFirstFit(t *testing.T) {
+	a := New(1, 4096)
+	small, _ := a.Alloc(0, 4096)
+	big, _ := a.Alloc(0, 3*4096)
+	tail, _ := a.Alloc(0, 4096)
+	a.Free(small.Base)
+	a.Free(big.Base)
+	// A 2-page request skips the 1-page hole and splits the 3-page block.
+	r, err := a.Alloc(0, 2*4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Base != big.Base {
+		t.Fatalf("first-fit picked %#x, want the split of %#x", r.Base, big.Base)
+	}
+	// The remainder of the split and the original small hole both serve
+	// subsequent 1-page requests before any fresh address is carved.
+	r2, _ := a.Alloc(0, 4096)
+	r3, _ := a.Alloc(0, 4096)
+	bases := map[Addr]bool{r2.Base: true, r3.Base: true}
+	if !bases[small.Base] || !bases[big.Base+2*4096] {
+		t.Fatalf("holes not reused: got %#x and %#x, want %#x and %#x",
+			r2.Base, r3.Base, small.Base, big.Base+2*4096)
+	}
+	if next, _ := a.Alloc(0, 4096); next.Base != tail.End() {
+		t.Fatalf("fresh carve at %#x, want %#x (past the last allocation)", next.Base, tail.End())
+	}
+}

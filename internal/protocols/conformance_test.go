@@ -116,6 +116,17 @@ func jacobiOracle() []uint64 {
 }
 
 func jacobiRun(t *testing.T, rt *pm2.Runtime, d *core.DSM) []uint64 {
+	return jacobiRunPlaced(t, rt, d, false)
+}
+
+// jacobiRunMisplaced homes every grid row on node 0 — the placement the
+// profiler's home migration exists to repair, so the adaptive sweep
+// exercises real mid-run re-homings under every protocol.
+func jacobiRunMisplaced(t *testing.T, rt *pm2.Runtime, d *core.DSM) []uint64 {
+	return jacobiRunPlaced(t, rt, d, true)
+}
+
+func jacobiRunPlaced(t *testing.T, rt *pm2.Runtime, d *core.DSM, misplaced bool) []uint64 {
 	rowBytes := (jacN + 2) * 8
 	ownerOf := func(row int) int {
 		if row == 0 {
@@ -126,10 +137,14 @@ func jacobiRun(t *testing.T, rt *pm2.Runtime, d *core.DSM) []uint64 {
 		}
 		return (row - 1) * conformanceNodes / jacN
 	}
+	var attr *core.Attr
+	if misplaced {
+		attr = &core.Attr{Protocol: -1, Home: 0}
+	}
 	grids := [2][]core.Addr{make([]core.Addr, jacN+2), make([]core.Addr, jacN+2)}
 	for g := 0; g < 2; g++ {
 		for row := 0; row <= jacN+1; row++ {
-			grids[g][row] = d.MustMalloc(ownerOf(row), rowBytes, nil)
+			grids[g][row] = d.MustMalloc(ownerOf(row), rowBytes, attr)
 		}
 	}
 	// Fixed-point arithmetic (1e-6 units) keeps every cell integral, so
@@ -363,6 +378,70 @@ func readBack(t *testing.T, rt *pm2.Runtime, d *core.DSM, read func(*pm2.Thread)
 		t.Fatal(err)
 	}
 	return out
+}
+
+// TestConformanceAdaptive sweeps the conformance scenarios × every
+// registered protocol × both communication paths with the sharing-pattern
+// profiler's home migration enabled vs disabled, on the uniform topology.
+// Both placements must match the sequential oracles AND (therefore) each
+// other — migration may move pages, never values. A misplaced-homes jacobi
+// variant joins the scenario set so the sweep exercises real mid-run
+// re-homings (the standard scenarios allocate well-placed pages, which
+// mostly stay put). In -short mode (the CI race job) the protocol set
+// shrinks to hbrc_mw, erc_sw and adaptive — the home-based headline, the
+// ownership-migrating MRSW, and the classifier's own consumer — with both
+// comm paths kept, matching TestConformance's convention.
+func TestConformanceAdaptive(t *testing.T) {
+	scenarios := []scenario{
+		{"jacobi", jacobiOracle, jacobiRun},
+		{"jacobi-misplaced", jacobiOracle, jacobiRunMisplaced},
+		{"mapcolor", mapcolorOracle, mapcolorRun},
+		{"hotspot", hotspotOracle, hotspotRun},
+		{"prodcons", prodconsOracle, prodconsRun},
+	}
+	commPaths := []struct {
+		name    string
+		batched bool
+	}{
+		{"batched", true},
+		{"unbatched", false},
+	}
+	reg, _ := NewRegistry()
+	protocols := reg.Names()
+	if testing.Short() {
+		protocols = []string{"hbrc_mw", "erc_sw", "adaptive"}
+	}
+	topo := func() madeleine.Topology { return madeleine.NewUniform(madeleine.BIPMyrinet) }
+	for _, comm := range commPaths {
+		for _, proto := range protocols {
+			for _, sc := range scenarios {
+				comm, proto, sc := comm, proto, sc
+				t.Run(fmt.Sprintf("%s/%s/%s", comm.name, proto, sc.name), func(t *testing.T) {
+					// Both placements are held to the same sequential
+					// oracle, which is also the "match each other"
+					// guarantee: two runs equal to one oracle cannot
+					// diverge from one another.
+					want := sc.oracle()
+					for _, migrate := range []bool{false, true} {
+						rt, d := conformanceHarness(t, topo(), proto, comm.batched)
+						if migrate {
+							d.EnableProfiler(core.ProfilerConfig{Migrate: true})
+						}
+						got := sc.run(t, rt, d)
+						if len(got) != len(want) {
+							t.Fatalf("migrate=%v: read %d values, oracle has %d", migrate, len(got), len(want))
+						}
+						for i := range want {
+							if got[i] != want[i] {
+								t.Fatalf("migrate=%v: value %d = %d, oracle says %d (migrations=%d)",
+									migrate, i, got[i], want[i], d.Stats().HomeMigrations)
+							}
+						}
+					}
+				})
+			}
+		}
+	}
 }
 
 // TestConformance sweeps scenarios × protocols × topologies × communication
