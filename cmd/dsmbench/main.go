@@ -51,7 +51,13 @@
 //
 // The kernel experiment measures the simulator itself (not the simulated
 // cluster): wall-clock events/sec, allocations per event and peak heap,
-// against the committed pre-overhaul baseline. With -json it writes the
+// against the committed pre-overhaul baseline. It then runs the host-scaling
+// matrix: the 1,000-proc event storm on the parallel (sharded) kernel at
+// shard counts 1,2,4,... up to -shards (default: the host's CPU count,
+// floored at 2), reporting each row's throughput and speedup over the
+// shards=1 serial baseline. Every BENCH_*.json snapshot records the host it
+// was measured on (CPU count, GOMAXPROCS, Go version), so rows from
+// different machines stay interpretable. With -json it writes the
 // BENCH_kernel.json snapshot that tracks the perf trajectory; with
 // -cpuprofile/-memprofile it captures pprof profiles of any experiment so a
 // hot-path regression can be diagnosed without editing code.
@@ -97,6 +103,7 @@ func realMain() (code int) {
 	repair := flag.Float64("repair", 3, "generated plans: node repair time (virtual ms)")
 	faultSeed := flag.Int64("faultseed", 11, "seed for generated fault plans and message-loss draws")
 	faultProtos := flag.String("faultproto", "hbrc_mw,entry_mw", "comma-separated protocols for the faults experiment")
+	shards := flag.Int("shards", 0, "kernel experiment: max shard count for the host-scaling matrix (0 = host CPUs, floored at 2)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -178,7 +185,7 @@ func realMain() (code int) {
 	}
 	if *exp == "kernel" { // wall-clock heavy: explicit opt-in, not part of "all"
 		any = true
-		if err := kernel(*jsonOut); err != nil {
+		if err := kernel(*jsonOut, *shards); err != nil {
 			log.Printf("kernel: %v", err)
 			return 1
 		}
@@ -434,16 +441,23 @@ const benchKernelFile = "BENCH_kernel.json"
 // (pre-overhaul kernel) next to the numbers measured by this run.
 type kernelSnapshot struct {
 	Experiment string `json:"experiment"`
+	// Host is the machine these Current/Sharded numbers were measured on.
+	Host bench.HostMeta `json:"host"`
 	// Baseline is the pre-overhaul kernel (container/heap, boxed events,
 	// double switch per wake, unpooled pages/messages).
 	Baseline []bench.KernelResult `json:"baseline"`
 	// Current is this binary, measured now on this machine.
 	Current []bench.KernelResult `json:"current"`
+	// Sharded is the host-scaling matrix: the 1,000-proc event storm on the
+	// parallel kernel at increasing shard counts, shards=1 first (the serial
+	// baseline for speedups).
+	Sharded []bench.KernelResult `json:"sharded"`
 }
 
 // kernel measures the simulator's own wall-clock efficiency and compares it
-// against the committed pre-overhaul baseline.
-func kernel(writeJSON bool) error {
+// against the committed pre-overhaul baseline, then runs the host-scaling
+// matrix of the parallel (sharded) kernel.
+func kernel(writeJSON bool, maxShards int) error {
 	header("Kernel: simulator wall-clock efficiency (baseline = pre-overhaul kernel)")
 	base := bench.KernelBaseline()
 	baseByName := map[string]bench.KernelResult{}
@@ -466,10 +480,26 @@ func kernel(writeJSON bool) error {
 	}
 	fmt.Println("(events/sec is wall-clock; virtual timings are identical across kernels,")
 	fmt.Println(" see the golden-trace test. Baseline numbers are fixed in internal/bench.)")
+
+	host := bench.Host()
+	header(fmt.Sprintf("Kernel: host-scaling matrix (parallel kernel; host: %d CPUs, GOMAXPROCS=%d, %s)",
+		host.CPUs, host.GOMAXPROCS, host.GoVersion))
+	sharded := bench.KernelScalingSuite(bench.ScalingShards(maxShards))
+	fmt.Printf("%-48s %12s %14s %8s\n", "scenario", "wall(ms)", "ev/s", "speedup")
+	for i, r := range sharded {
+		speedup := "-"
+		if i > 0 && sharded[0].WallMS > 0 {
+			speedup = fmt.Sprintf("%.2fx", sharded[0].WallMS/r.WallMS)
+		}
+		fmt.Printf("%-48s %12.2f %14.0f %8s\n", r.Name, r.WallMS, r.EventsPerSec, speedup)
+	}
+	fmt.Println("(speedup is wall-clock vs the shards=1 row of this same run; the virtual")
+	fmt.Println(" schedule is identical for every shard count. Scaling needs free host cores:")
+	fmt.Println(" on a single-core host the sharded rows only measure synchronization cost.)")
 	if !writeJSON {
 		return nil
 	}
-	snap := kernelSnapshot{Experiment: "kernel", Baseline: base, Current: cur}
+	snap := kernelSnapshot{Experiment: "kernel", Host: host, Baseline: base, Current: cur, Sharded: sharded}
 	f, err := os.Create(benchKernelFile)
 	if err != nil {
 		return fmt.Errorf("-json: %w", err)
@@ -490,8 +520,11 @@ const benchCommFile = "BENCH_comm.json"
 
 // commSnapshot is the BENCH_comm.json document.
 type commSnapshot struct {
-	Experiment string             `json:"experiment"`
-	Results    []bench.CommResult `json:"results"`
+	Experiment string `json:"experiment"`
+	// Host is the machine this snapshot was taken on (the numbers are
+	// virtual-time exact, but the provenance keeps snapshots comparable).
+	Host    bench.HostMeta     `json:"host"`
+	Results []bench.CommResult `json:"results"`
 }
 
 // comm compares the batched and unbatched communication paths across the
@@ -527,7 +560,7 @@ func comm(writeJSON bool) error {
 	if !writeJSON {
 		return nil
 	}
-	snap := commSnapshot{Experiment: "comm", Results: results}
+	snap := commSnapshot{Experiment: "comm", Host: bench.Host(), Results: results}
 	f, err := os.Create(benchCommFile)
 	if err != nil {
 		return fmt.Errorf("-json: %w", err)
@@ -548,8 +581,10 @@ const benchAdaptFile = "BENCH_adapt.json"
 
 // adaptSnapshot is the BENCH_adapt.json document.
 type adaptSnapshot struct {
-	Experiment string              `json:"experiment"`
-	Results    []bench.AdaptResult `json:"results"`
+	Experiment string `json:"experiment"`
+	// Host is the machine this snapshot was taken on.
+	Host    bench.HostMeta      `json:"host"`
+	Results []bench.AdaptResult `json:"results"`
 }
 
 // adapt compares static (misplaced) page placement against the online
@@ -590,7 +625,7 @@ func adapt(writeJSON bool) error {
 	if !writeJSON {
 		return nil
 	}
-	snap := adaptSnapshot{Experiment: "adapt", Results: results}
+	snap := adaptSnapshot{Experiment: "adapt", Host: bench.Host(), Results: results}
 	f, err := os.Create(benchAdaptFile)
 	if err != nil {
 		return fmt.Errorf("-json: %w", err)

@@ -124,6 +124,13 @@ type Config struct {
 	// are re-homed onto their dominant writers (`dsmbench -exp adapt`).
 	// Off by default — placement then stays exactly as allocated.
 	AdaptiveHomes bool
+	// Shards selects the simulation kernel's parallelism. The DSM layer is
+	// a single-loop design (every protocol state machine assumes one
+	// calendar), so a System accepts only 0 or 1 here — the field exists
+	// so configs are shared verbatim with the sharded PM2/bench layers,
+	// and so a future sharded DSM core has its knob reserved. Sharded
+	// execution today is a pm2.Config / dsmbench -shards feature.
+	Shards int
 	// Protocol names the default consistency protocol (default
 	// "li_hudak"); see ProtocolNames for the list.
 	Protocol string
@@ -167,6 +174,9 @@ func New(cfg Config) (*System, error) {
 	if s, ok := cfg.Topology.(madeleine.Sizer); ok && s.Nodes() != cfg.Nodes {
 		return nil, fmt.Errorf("dsmpm2: topology %s is built for %d nodes, config has %d",
 			cfg.Topology.Name(), s.Nodes(), cfg.Nodes)
+	}
+	if cfg.Shards > 1 {
+		return nil, fmt.Errorf("dsmpm2: the DSM protocol layer requires Shards <= 1 (got %d); sharded execution is a pm2/bench kernel feature", cfg.Shards)
 	}
 	rt := pm2.NewRuntime(pm2.Config{
 		Nodes:          cfg.Nodes,

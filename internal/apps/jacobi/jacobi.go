@@ -47,6 +47,11 @@ type Config struct {
 	// migration: misplaced rows move onto their writers at barrier epochs.
 	AdaptiveHomes bool
 
+	// Shards is forwarded to dsmpm2.Config.Shards: 0 and 1 are the
+	// single-loop engine (bit-identical traces), >1 is rejected by the DSM
+	// layer (sharded execution is a pm2/bench kernel feature).
+	Shards int
+
 	// FaultPlan, when set, selects the restart-aware variant of the
 	// kernel: all grid pages are homed on node 0 (a home-based protocol
 	// then keeps committed iterations on a protected node), workers
@@ -134,6 +139,7 @@ func Run(cfg Config) (Result, error) {
 		Seed:          cfg.Seed,
 		UnbatchedComm: cfg.Unbatched,
 		AdaptiveHomes: cfg.AdaptiveHomes,
+		Shards:        cfg.Shards,
 	})
 	if err != nil {
 		return Result{}, err

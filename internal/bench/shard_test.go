@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"testing"
+
+	"dsmpm2"
+	"dsmpm2/internal/apps/jacobi"
+	"dsmpm2/internal/apps/matmul"
+	"dsmpm2/internal/apps/tsp"
+)
+
+// appRuns are the three paper applications at small scale, parameterized by
+// the facade's Shards knob.
+var appRuns = []struct {
+	name string
+	run  func(shards int) (*dsmpm2.System, error)
+}{
+	{"jacobi", func(shards int) (*dsmpm2.System, error) {
+		res, err := jacobi.Run(jacobi.Config{
+			N: 16, Iterations: 3, Nodes: 4,
+			Network: dsmpm2.BIPMyrinet, Protocol: "hbrc_mw", Seed: 1, Shards: shards,
+		})
+		return res.System, err
+	}},
+	{"matmul", func(shards int) (*dsmpm2.System, error) {
+		res, err := matmul.Run(matmul.Config{
+			N: 12, Nodes: 4,
+			Network: dsmpm2.BIPMyrinet, Protocol: "li_hudak", Seed: 3, Shards: shards,
+		})
+		return res.System, err
+	}},
+	{"tsp", func(shards int) (*dsmpm2.System, error) {
+		res, err := tsp.Run(tsp.Config{
+			Cities: 8, Seed: 42, Nodes: 4,
+			Network: dsmpm2.BIPMyrinet, Protocol: "li_hudak", Shards: shards,
+		})
+		return res.System, err
+	}},
+}
+
+// TestShardsOneMatchesLegacyFingerprint: requesting Shards=1 through the
+// facade must replay the legacy single-loop engine bit for bit — same final
+// clock, same timing log, same stats — on all three paper applications.
+func TestShardsOneMatchesLegacyFingerprint(t *testing.T) {
+	for _, app := range appRuns {
+		legacy, err := app.run(0)
+		if err != nil {
+			t.Fatalf("%s shards=0: %v", app.name, err)
+		}
+		one, err := app.run(1)
+		if err != nil {
+			t.Fatalf("%s shards=1: %v", app.name, err)
+		}
+		if a, b := TraceFingerprint(legacy), TraceFingerprint(one); a != b {
+			t.Errorf("%s: shards=1 fingerprint %s != legacy %s", app.name, b, a)
+		}
+	}
+}
+
+// TestShardsRejectedAboveOne: the DSM protocol layer is single-loop; the
+// facade must refuse Shards>1 with an error, not mis-run.
+func TestShardsRejectedAboveOne(t *testing.T) {
+	for _, app := range appRuns {
+		if _, err := app.run(2); err == nil {
+			t.Errorf("%s: shards=2 did not error", app.name)
+		}
+	}
+}
+
+// TestShardedStormVirtualClockInvariant: the sharded event storm schedules
+// every hand-off at now+1µs regardless of placement, so the virtual schedule
+// — and in particular the final clock — must be identical at every shard
+// count. Only the host-core spread may differ.
+func TestShardedStormVirtualClockInvariant(t *testing.T) {
+	base := EventStormSharded(32, 40, 1)
+	for _, shards := range []int{2, 4} {
+		r := EventStormSharded(32, 40, shards)
+		if r.VirtualMS != base.VirtualMS {
+			t.Errorf("shards=%d: virtual clock %.6f ms != shards=1 %.6f ms",
+				shards, r.VirtualMS, base.VirtualMS)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package madeleine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dsmpm2/internal/sim"
+)
+
+// shardedNet builds a 2-cluster hierarchical network over a 2-shard engine:
+// nodes 0,1 on shard 0 (BIP/Myrinet intra), nodes 2,3 on shard 1, clusters
+// joined by the slow TCP backbone whose CtrlMsg latency is the lookahead.
+func shardedNet(t *testing.T, seed int64) (*sim.ShardedEngine, *Network, []int) {
+	t.Helper()
+	cluster := EvenClusters(4, 2)
+	topo := NewHierarchical(cluster, BIPMyrinet, TCPFastEthernet)
+	se := sim.NewShardedEngine(seed, 2, TCPFastEthernet.CtrlMsg)
+	nw := NewNetworkTopology(se.Shard(0), topo, 4)
+	nw.BindSharded(se, cluster)
+	return se, nw, cluster
+}
+
+// crossPeer maps each node to its partner in the other cluster.
+func crossPeer(n int) int { return (n + 2) % 4 }
+
+// runPingPong spawns one proc per node that ping-pongs rounds control
+// messages with its cross-cluster peer and returns a per-node trace
+// fingerprint. Nodes 0,1 serve; nodes 2,3 initiate.
+func runPingPong(t *testing.T, seed int64, rounds int) (string, int) {
+	t.Helper()
+	se, nw, cluster := shardedNet(t, seed)
+	traces := make([]string, 4)
+	chID := nw.ChannelID("pp")
+	for n := 0; n < 4; n++ {
+		n := n
+		eng := se.Shard(cluster[n])
+		eng.Go(fmt.Sprintf("node%d", n), func(p *sim.Proc) {
+			var sb strings.Builder
+			if n >= 2 { // initiator: send first
+				nw.SendCtrl(n, crossPeer(n), "pp", n*1000)
+			}
+			for i := 0; i < rounds; i++ {
+				m := nw.RecvID(p, n, chID)
+				fmt.Fprintf(&sb, "%v:%v;", p.Now(), m.Payload)
+				reply := m.Payload.(int) + 1
+				from := m.From
+				nw.FreeMessage(m)
+				if n < 2 || i < rounds-1 {
+					nw.SendCtrl(n, from, "pp", reply)
+				}
+			}
+			traces[n] = sb.String()
+		})
+	}
+	if err := se.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	h := sha256.New()
+	for _, tr := range traces {
+		h.Write([]byte(tr))
+		h.Write([]byte{0})
+	}
+	msgs, _ := nw.Stats()
+	return hex.EncodeToString(h.Sum(nil)), msgs
+}
+
+// TestShardedNetworkPingPong: cross-shard control traffic completes, counts
+// are exact, and repeated runs produce identical traces.
+func TestShardedNetworkPingPong(t *testing.T) {
+	const rounds = 8
+	fp0, msgs := runPingPong(t, 42, rounds)
+	// Per pair: the initiator sends its opener plus rounds-1 replies, the
+	// server replies to every one of its rounds receipts — 2*rounds
+	// messages each for two pairs.
+	want := 4 * rounds
+	if msgs != want {
+		t.Fatalf("messages = %d, want %d", msgs, want)
+	}
+	for trial := 0; trial < 5; trial++ {
+		fp, _ := runPingPong(t, 42, rounds)
+		if fp != fp0 {
+			t.Fatalf("trial %d fingerprint %s != %s", trial, fp, fp0)
+		}
+	}
+}
+
+// TestShardedNetworkGather: a multi-part envelope crossing the backbone
+// scatters to per-channel queues on the destination shard.
+func TestShardedNetworkGather(t *testing.T) {
+	se, nw, _ := shardedNet(t, 7)
+	a, b := nw.ChannelID("a"), nw.ChannelID("b")
+	got := make(map[string]int)
+	se.Shard(1).Go("recv", func(p *sim.Proc) {
+		ma := nw.RecvID(p, 2, a)
+		mb := nw.RecvID(p, 2, b)
+		got["a"] = ma.Payload.(int)
+		got["b"] = mb.Payload.(int)
+		if p.Now() <= 0 {
+			t.Errorf("gather delivered at t=0")
+		}
+	})
+	se.Shard(0).Go("send", func(p *sim.Proc) {
+		d := nw.Link(0, 2).Transfer(4096 + 64)
+		nw.SendGather(0, 2, []GatherPart{
+			{Chan: a, Size: 4096, Payload: 11},
+			{Chan: b, Size: 64, Payload: 22},
+		}, d)
+	})
+	if err := se.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got["a"] != 11 || got["b"] != 22 {
+		t.Fatalf("gather parts = %v, want a:11 b:22", got)
+	}
+	if nw.Envelopes() != 1 {
+		t.Fatalf("Envelopes = %d, want 1", nw.Envelopes())
+	}
+}
+
+// TestShardedNetworkFaultPlan: a crash/restart plan fanned out through
+// ShardedEngine.InjectFaults flips every shard's dead view at the right
+// virtual time — sends from the remote shard drop while the node is down
+// and flow again after restart.
+func TestShardedNetworkFaultPlan(t *testing.T) {
+	se, nw, _ := shardedNet(t, 9)
+	nw.EnableFaults(1, PartitionQueue)
+	crashAt := sim.Time(0).Add(sim.Micros(2000))
+	restartAt := sim.Time(0).Add(sim.Micros(4000))
+	plan := (&sim.FaultPlan{Seed: 1}).Crash(crashAt, 2).Restart(restartAt, 2)
+	se.InjectFaults(plan, func(shard int, ev sim.FaultEvent) { nw.ApplyFault(shard, ev) })
+
+	// Node 0 (shard 0) sends one ctrl message to node 2 (shard 1) every
+	// 500us for 12 ticks: t=0.5ms..6ms.
+	se.Shard(0).Go("sender", func(p *sim.Proc) {
+		for i := 1; i <= 12; i++ {
+			p.Advance(sim.Micros(500))
+			nw.SendCtrl(0, 2, "data", i)
+		}
+	})
+	// Node 2 polls its queue (a blocked Recv would park forever across the
+	// crash, since the crash orphans the queue it waits on).
+	var got []int
+	se.Shard(1).Go("receiver", func(p *sim.Proc) {
+		end := sim.Time(0).Add(sim.Micros(8000))
+		for p.Now() < end {
+			p.Advance(sim.Micros(100))
+			for {
+				m, ok := nw.TryRecv(2, "data")
+				if !ok {
+					break
+				}
+				got = append(got, m.Payload.(int))
+				nw.FreeMessage(m)
+			}
+		}
+	})
+	if err := se.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	// Ticks 1-3 land before the crash (send at 1.5ms arrives ~1.72ms);
+	// ticks sent in [2ms,4ms) are dead-dropped at node 0's interface;
+	// ticks from 4ms on flow again.
+	if len(got) == 0 {
+		t.Fatal("receiver saw no messages")
+	}
+	st := nw.FaultStats()
+	if st.Crashes != 1 || st.Restarts != 1 {
+		t.Fatalf("Crashes/Restarts = %d/%d, want 1/1", st.Crashes, st.Restarts)
+	}
+	if st.DeadDrops == 0 {
+		t.Fatalf("no dead drops recorded across the crash window: %+v", st)
+	}
+	for _, v := range got {
+		sentAt := sim.Time(0).Add(sim.Micros(500 * float64(v)))
+		if sentAt >= crashAt && sentAt < restartAt {
+			t.Fatalf("message %d sent at %v inside the crash window was delivered", v, sentAt)
+		}
+	}
+	if got[len(got)-1] != 12 {
+		t.Fatalf("last delivered tick = %d, want 12 (post-restart traffic must flow)", got[len(got)-1])
+	}
+}
+
+// TestShardedNetworkDirectMutatorsPanic: the single-loop fault mutators are
+// rejected on a sharded network (they would touch one shard's state from an
+// arbitrary goroutine).
+func TestShardedNetworkDirectMutatorsPanic(t *testing.T) {
+	se, nw, _ := shardedNet(t, 3)
+	_ = se
+	nw.EnableFaults(1, PartitionQueue)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CrashNode on a sharded network did not panic")
+		}
+	}()
+	nw.CrashNode(1)
+}

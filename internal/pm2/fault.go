@@ -40,8 +40,13 @@ func (rt *Runtime) EnableFaults(seed int64, policy madeleine.PartitionPolicy) {
 // it (application threads, RPC dispatchers, handler threads, migrated-in
 // threads) is killed, joiners of those threads are released, and the network
 // starts dropping the node's traffic. Must run in engine context (a fault
-// event), never from a thread on node n.
+// event), never from a thread on node n. Single-loop API: sharded machines
+// deliver node faults through InjectFaultPlan, which runs the kill on the
+// owning shard.
 func (rt *Runtime) KillNode(n int) {
+	if rt.se != nil {
+		panic("pm2: KillNode on a sharded machine; use InjectFaultPlan")
+	}
 	node := rt.Node(n)
 	if node.dead {
 		return
@@ -49,37 +54,96 @@ func (rt *Runtime) KillNode(n int) {
 	node.dead = true
 	rt.net.CrashNode(n)
 	for _, t := range rt.threads {
-		if t.node != n || t.done {
-			continue
-		}
-		t.proc.Kill()
-		t.done = true
-		for _, j := range t.joiners {
-			if !j.Dead() {
-				j.Unpark()
-			}
-		}
-		t.joiners = nil
+		rt.killThread(t, n)
 	}
+}
+
+// killThread kills t if it is an unfinished thread located on node n.
+func (rt *Runtime) killThread(t *Thread, n int) {
+	if t.node != n || t.done {
+		return
+	}
+	t.proc.Kill()
+	t.done = true
+	for _, j := range t.joiners {
+		if !j.Dead() {
+			j.Unpark()
+		}
+	}
+	t.joiners = nil
 }
 
 // RestartNode brings a crashed node back cold: alive again for the network,
 // a fresh CPU resource (threads killed mid-compute can never return their
 // units, so the old resource may be stranded), and freshly spawned
 // dispatcher threads for every service that was registered, in registration
-// order so replays are deterministic.
+// order so replays are deterministic. Single-loop API: sharded machines
+// deliver node faults through InjectFaultPlan.
 func (rt *Runtime) RestartNode(n int) {
-	node := rt.Node(n)
+	if rt.se != nil {
+		panic("pm2: RestartNode on a sharded machine; use InjectFaultPlan")
+	}
+	if !rt.Node(n).dead {
+		return
+	}
+	rt.net.RestartNode(n)
+	rt.restartNodeLocal(n)
+}
+
+// restartNodeLocal is the runtime half of a node restart (the network half
+// is RestartNode/ApplyFault): fresh CPUs and respawned dispatchers.
+func (rt *Runtime) restartNodeLocal(n int) {
+	node := rt.nodes[n]
 	if !node.dead {
 		return
 	}
 	node.dead = false
-	rt.net.RestartNode(n)
 	node.CPU = sim.NewResource(rt.cpus)
 	for _, name := range node.svcOrder {
 		node.spawnDispatcher(node.services[name])
 	}
 	node.Restarts++
+}
+
+// InjectFaultPlan schedules a declarative fault plan on the machine,
+// handling both execution modes. Single-loop, events apply through the
+// historical mutators. Sharded, each event fans out to every shard at its
+// virtual time: the network flips each shard's fault view, and the shard
+// owning a crashed/restarted node additionally kills or respawns its
+// threads. Call after EnableFaults and before Run.
+func (rt *Runtime) InjectFaultPlan(plan *sim.FaultPlan) {
+	if rt.se == nil {
+		rt.eng.InjectFaults(plan, func(ev sim.FaultEvent) {
+			switch ev.Kind {
+			case sim.FaultNodeCrash:
+				rt.KillNode(ev.Node)
+			case sim.FaultNodeRestart:
+				rt.RestartNode(ev.Node)
+			default:
+				rt.net.ApplyFault(0, ev)
+			}
+		})
+		return
+	}
+	rt.se.InjectFaults(plan, func(shard int, ev sim.FaultEvent) {
+		rt.net.ApplyFault(shard, ev)
+		switch ev.Kind {
+		case sim.FaultNodeCrash:
+			if rt.nodeShard[ev.Node] == shard {
+				node := rt.nodes[ev.Node]
+				if !node.dead {
+					node.dead = true
+					for _, t := range node.threads {
+						rt.killThread(t, ev.Node)
+					}
+				}
+			}
+		case sim.FaultNodeRestart:
+			if rt.nodeShard[ev.Node] == shard {
+				rt.restartNodeLocal(ev.Node)
+			}
+		}
+	})
 }
 
 // Dead reports whether the node is currently crashed.

@@ -7,6 +7,7 @@ package pm2
 
 import (
 	"fmt"
+	"sync"
 
 	"dsmpm2/internal/freelist"
 	"dsmpm2/internal/madeleine"
@@ -18,21 +19,39 @@ import (
 const DescriptorBytes = 256
 
 // Runtime is a simulated PM2 machine: a cluster of nodes sharing one sim
-// engine and one network.
+// engine and one network. With Config.Shards > 1 the machine runs sharded:
+// one event loop per node cluster (see sim.ShardedEngine), every node pinned
+// to its cluster's shard, and cross-cluster RPC traffic crossing shards as
+// conservatively synchronized remote events. The single-loop configuration
+// (Shards <= 1) takes the historical code paths bit-for-bit.
 type Runtime struct {
 	eng   *sim.Engine
 	net   *madeleine.Network
 	nodes []*Node
 	cpus  int // CPUs per node, kept for rebuilding a restarted node's CPU
 
-	nextThread int
-	threads    []*Thread
+	// Sharded execution (nil/unused when single-loop).
+	se        *sim.ShardedEngine
+	nodeShard []int // node -> owning shard
+	// thMu guards the global thread list in sharded mode only (any shard
+	// may create handler threads while another walks the list).
+	thMu sync.Mutex
+	// svcMu guards svcIDs in sharded mode only.
+	svcMu sync.RWMutex
+	// shardNext is the per-shard thread-id counter: shard s hands out ids
+	// s+1, s+1+Shards, s+1+2*Shards, ... so ids are unique machine-wide and
+	// deterministic per shard regardless of cross-shard interleaving. With
+	// one shard this degenerates to the historical 1,2,3,... sequence.
+	shardNext []int
+
+	threads []*Thread
 
 	// svcIDs caches service name -> interned request-channel id, so
 	// per-message sends skip both the "rpc:" concatenation and the
 	// network's name table.
 	svcIDs map[string]madeleine.ChanID
-	// reqFree recycles rpcReq envelopes (see rpcReq).
+	// reqFree recycles rpcReq envelopes (see rpcReq). Sharded machines
+	// bypass the pool: it would put a lock on every RPC.
 	reqFree freelist.List[*rpcReq]
 }
 
@@ -53,6 +72,15 @@ type Config struct {
 	// latencies are single-message costs.
 	LinkContention bool
 
+	// Shards > 1 runs the machine on that many parallel event loops, nodes
+	// partitioned by the topology's clusters (Hierarchical topologies with
+	// a matching cluster count shard along their cluster boundaries;
+	// anything else falls back to contiguous equal blocks). The inter-shard
+	// lookahead is derived from the cheapest cross-shard message cost, so
+	// the slow backbone of a hierarchical machine is exactly the slack the
+	// conservative synchronization needs. 0 or 1 is the single-loop mode.
+	Shards int
+
 	Seed int64
 }
 
@@ -72,12 +100,46 @@ func NewRuntime(cfg Config) *Runtime {
 		}
 		topo = madeleine.NewUniform(prof)
 	}
-	eng := sim.NewEngine(cfg.Seed)
+	if cfg.Shards > cfg.Nodes {
+		cfg.Shards = cfg.Nodes
+	}
+	var eng *sim.Engine
+	var se *sim.ShardedEngine
+	var nodeShard []int
+	if cfg.Shards > 1 {
+		nodeShard = shardMap(topo, cfg.Nodes, cfg.Shards)
+		look := lookaheads(topo, nodeShard, cfg.Shards)
+		min := sim.Duration(0)
+		for i := range look {
+			for j, d := range look[i] {
+				if i != j && d > 0 && (min == 0 || d < min) {
+					min = d
+				}
+			}
+		}
+		se = sim.NewShardedEngine(cfg.Seed, cfg.Shards, min)
+		for i := range look {
+			for j, d := range look[i] {
+				if i != j && d > 0 {
+					se.SetLookahead(i, j, d)
+				}
+			}
+		}
+		eng = se.Shard(0)
+	} else {
+		eng = sim.NewEngine(cfg.Seed)
+	}
 	rt := &Runtime{
-		eng:    eng,
-		net:    madeleine.NewNetworkTopology(eng, topo, cfg.Nodes),
-		cpus:   cfg.CPUsPerNode,
-		svcIDs: make(map[string]madeleine.ChanID),
+		eng:       eng,
+		net:       madeleine.NewNetworkTopology(eng, topo, cfg.Nodes),
+		cpus:      cfg.CPUsPerNode,
+		se:        se,
+		nodeShard: nodeShard,
+		shardNext: make([]int, max(cfg.Shards, 1)),
+		svcIDs:    make(map[string]madeleine.ChanID),
+	}
+	if se != nil {
+		rt.net.BindSharded(se, nodeShard)
 	}
 	rt.net.SetLinkContention(cfg.LinkContention)
 	for i := 0; i < cfg.Nodes; i++ {
@@ -91,8 +153,80 @@ func NewRuntime(cfg Config) *Runtime {
 	return rt
 }
 
-// Engine returns the sim engine driving this machine.
+// shardMap assigns each node to a shard. A Hierarchical topology whose
+// cluster count matches the shard count shards along its cluster boundaries
+// (that is the configuration the sharded mode is designed for: the
+// inter-cluster backbone is the lookahead); everything else falls back to
+// contiguous equal blocks.
+func shardMap(topo madeleine.Topology, nodes, shards int) []int {
+	if h, ok := topo.(*madeleine.Hierarchical); ok && h.Clusters() == shards {
+		out := make([]int, nodes)
+		for i := range out {
+			out[i] = h.ClusterOf(i)
+		}
+		return out
+	}
+	return madeleine.EvenClusters(nodes, shards)
+}
+
+// lookaheads derives the inter-shard lookahead matrix from the topology:
+// for each ordered shard pair, the cheapest message the runtime can ever put
+// on a link from a node of one to a node of the other. Every RPC-layer send
+// charges at least min(CtrlMsg, RPCBase/2, XferBase) of its link's profile,
+// so that bound is a safe conservative lookahead.
+func lookaheads(topo madeleine.Topology, nodeShard []int, shards int) [][]sim.Duration {
+	look := make([][]sim.Duration, shards)
+	for i := range look {
+		look[i] = make([]sim.Duration, shards)
+	}
+	n := len(nodeShard)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			si, sj := nodeShard[i], nodeShard[j]
+			if si == sj {
+				continue
+			}
+			p := topo.Link(i, j)
+			d := p.CtrlMsg
+			if half := p.RPCBase / 2; half < d {
+				d = half
+			}
+			if p.XferBase < d {
+				d = p.XferBase
+			}
+			if cur := look[si][sj]; cur == 0 || d < cur {
+				look[si][sj] = d
+			}
+		}
+	}
+	return look
+}
+
+// Engine returns the sim engine driving this machine (shard 0's engine when
+// sharded; use engFor for node-local scheduling).
 func (rt *Runtime) Engine() *sim.Engine { return rt.eng }
+
+// Sharded reports whether the machine runs on parallel event loops.
+func (rt *Runtime) Sharded() bool { return rt.se != nil }
+
+// ShardedEngine returns the sharded engine, or nil when single-loop.
+func (rt *Runtime) ShardedEngine() *sim.ShardedEngine { return rt.se }
+
+// ShardOf reports which shard owns node n (0 when single-loop).
+func (rt *Runtime) ShardOf(n int) int {
+	if rt.nodeShard == nil {
+		return 0
+	}
+	return rt.nodeShard[n]
+}
+
+// engFor returns the engine that owns node n's events.
+func (rt *Runtime) engFor(n int) *sim.Engine {
+	if rt.se == nil {
+		return rt.eng
+	}
+	return rt.se.Shard(rt.nodeShard[n])
+}
 
 // Network returns the machine's interconnect.
 func (rt *Runtime) Network() *madeleine.Network { return rt.net }
@@ -111,8 +245,15 @@ func (rt *Runtime) Link(src, dst int) *madeleine.Profile { return rt.net.Link(sr
 func (rt *Runtime) Nodes() int { return len(rt.nodes) }
 
 // ThreadCount reports the total number of threads created on this machine,
-// including RPC dispatcher and handler threads.
-func (rt *Runtime) ThreadCount() int { return len(rt.threads) }
+// including RPC dispatcher and handler threads. On a sharded machine call it
+// only when the machine is not running (the list is written concurrently).
+func (rt *Runtime) ThreadCount() int {
+	if rt.se != nil {
+		rt.thMu.Lock()
+		defer rt.thMu.Unlock()
+	}
+	return len(rt.threads)
+}
 
 // Node returns node i.
 func (rt *Runtime) Node(i int) *Node {
@@ -123,10 +264,21 @@ func (rt *Runtime) Node(i int) *Node {
 }
 
 // Run drives the machine until all non-daemon threads finish.
-func (rt *Runtime) Run() error { return rt.eng.Run() }
+func (rt *Runtime) Run() error {
+	if rt.se != nil {
+		return rt.se.Run()
+	}
+	return rt.eng.Run()
+}
 
-// Now returns the current virtual time.
-func (rt *Runtime) Now() sim.Time { return rt.eng.Now() }
+// Now returns the current virtual time (the maximum over shard clocks when
+// sharded).
+func (rt *Runtime) Now() sim.Time {
+	if rt.se != nil {
+		return rt.se.Now()
+	}
+	return rt.eng.Now()
+}
 
 // Node is one computing node of the PM2 machine. Threads located on the
 // node share its CPUs; RPC services registered on it serve remote requests.
@@ -139,6 +291,12 @@ type Node struct {
 	// svcOrder lists service names in registration order, so a restarted
 	// node respawns its dispatchers deterministically.
 	svcOrder []string
+
+	// threads lists the threads currently located on this node, maintained
+	// only on sharded machines (where it is touched exclusively from the
+	// owning shard's context): sharded node faults must find the node's
+	// threads without walking — and racing on — the global list.
+	threads []*Thread
 
 	// dead marks a crashed node (see fault.go).
 	dead bool
@@ -153,3 +311,13 @@ type Node struct {
 
 // Runtime returns the machine this node belongs to.
 func (n *Node) Runtime() *Runtime { return n.rt }
+
+// dropThread removes t from the node-local thread list (sharded mode only).
+func (n *Node) dropThread(t *Thread) {
+	for i, x := range n.threads {
+		if x == t {
+			n.threads = append(n.threads[:i], n.threads[i+1:]...)
+			return
+		}
+	}
+}

@@ -81,6 +81,13 @@ type Engine struct {
 	parked  map[*Proc]string // blocked procs -> reason, for deadlock reports
 	stopped bool
 	onIdle  func() bool // optional hook when queue drains with live procs
+
+	// sh is non-nil when this engine is one shard of a multi-shard
+	// ShardedEngine (see shard.go); it carries the shard's horizon bound
+	// and the cross-shard pending heap. A standalone engine (and the
+	// single shard of a one-shard ShardedEngine) has sh == nil and takes
+	// the legacy code paths bit-for-bit.
+	sh *shardCtl
 }
 
 // NewEngine creates an engine whose random source is seeded with seed, so
@@ -257,6 +264,9 @@ func (d *DeadlockError) Error() string {
 // scheduler goroutine — at simulation scale the context switches are the
 // kernel's largest remaining cost, and this halves them.
 func (e *Engine) Run() error {
+	if e.sh != nil {
+		panic("sim: Run called on one shard of a sharded engine; use ShardedEngine.Run")
+	}
 	if e.drive(nil) == driveHanded {
 		// The token was handed to a proc; wait until the driver that
 		// drains the queue passes it back.
@@ -301,6 +311,9 @@ const (
 // self is the calling proc (nil when Run drives), needed to short-circuit
 // the proc's own wake record instead of deadlocking on its wake channel.
 func (e *Engine) drive(self *Proc) driveResult {
+	if e.sh != nil {
+		return e.driveSharded(self)
+	}
 	for !e.stopped {
 		if e.nqueued == 0 {
 			// Queue drained with procs still live: give the idle hook
@@ -342,7 +355,15 @@ func (e *Engine) Stop() { e.stopped = true }
 // SetIdleHook installs fn, called whenever the queue drains while procs are
 // still live. Returning true continues (fn must have scheduled new events);
 // returning false stops the run. Used by drivers that feed external work in.
-func (e *Engine) SetIdleHook(fn func() bool) { e.onIdle = fn }
+// Idle hooks are a single-loop concept and are not supported on the shards
+// of a sharded engine (shard-local quiescence is a synchronization point,
+// not the end of the run).
+func (e *Engine) SetIdleHook(fn func() bool) {
+	if e.sh != nil {
+		panic("sim: idle hooks are not supported on sharded engines")
+	}
+	e.onIdle = fn
+}
 
 // Live reports the number of procs that have been spawned and not finished.
 func (e *Engine) Live() int { return e.nlive }
