@@ -1,0 +1,258 @@
+package dsmpm2_test
+
+import (
+	"strings"
+	"testing"
+
+	"dsmpm2"
+	"dsmpm2/internal/apps/jacobi"
+)
+
+// sessionConfig is the 16-node workload the round-trip sweep runs: small
+// enough to re-run once per step, big enough that every node owns rows and
+// every step moves real traffic.
+func sessionConfig() jacobi.Config {
+	return jacobi.Config{
+		N: 16, Iterations: 3, Nodes: 16,
+		Network:  dsmpm2.BIPMyrinet,
+		Protocol: "hbrc_mw",
+		Seed:     7,
+	}
+}
+
+// runSession builds a session, runs steps, and returns it.
+func runSession(t *testing.T, cfg jacobi.Config, steps int) *jacobi.Session {
+	t.Helper()
+	s, err := jacobi.NewSession(cfg)
+	if err != nil {
+		t.Fatalf("NewSession: %v", err)
+	}
+	for i := 0; i < steps; i++ {
+		if err := s.Step(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	return s
+}
+
+// finishFingerprint drives a session to its end and returns the trace
+// fingerprint plus the checksum.
+func finishFingerprint(t *testing.T, s *jacobi.Session) (string, float64) {
+	t.Helper()
+	if err := s.RunToEnd(); err != nil {
+		t.Fatalf("RunToEnd: %v", err)
+	}
+	fp := s.System().Fingerprint()
+	res, err := s.Result()
+	if err != nil {
+		t.Fatalf("Result: %v", err)
+	}
+	return fp, res.Checksum
+}
+
+// TestCheckpointRoundTripSweep is the subsystem's core property: snapshot at
+// step k, restore into a fresh system, run to the end — the trace
+// fingerprint must be bit-identical to the unbroken run's, for every k in
+// the whole run.
+func TestCheckpointRoundTripSweep(t *testing.T) {
+	cfg := sessionConfig()
+	ref := runSession(t, cfg, 0)
+	refFP, refSum := finishFingerprint(t, ref)
+	want := jacobi.SolveSerial(cfg.N, cfg.Iterations)
+	if refSum != want {
+		t.Fatalf("reference checksum %v, serial %v", refSum, want)
+	}
+
+	steps := ref.Steps()
+	for k := 0; k <= steps; k++ {
+		s := runSession(t, cfg, k)
+		ck, err := s.Checkpoint()
+		if err != nil {
+			t.Fatalf("k=%d: checkpoint: %v", k, err)
+		}
+		// Round-trip the wire form too: restore always goes through bytes.
+		data, err := ck.Encode()
+		if err != nil {
+			t.Fatalf("k=%d: encode: %v", k, err)
+		}
+		ck2, err := dsmpm2.DecodeCheckpoint(data)
+		if err != nil {
+			t.Fatalf("k=%d: decode: %v", k, err)
+		}
+		resumed, err := jacobi.ResumeSession(ck2)
+		if err != nil {
+			t.Fatalf("k=%d: resume: %v", k, err)
+		}
+		fp, sum := finishFingerprint(t, resumed)
+		if fp != refFP {
+			t.Fatalf("k=%d: restored fingerprint %s, unbroken run %s", k, fp, refFP)
+		}
+		if sum != refSum {
+			t.Fatalf("k=%d: restored checksum %v, unbroken run %v", k, sum, refSum)
+		}
+	}
+}
+
+// TestCheckpointRoundTripAdaptive sweeps the restore property over a run
+// with the access profiler and home migration enabled, so checkpoints land
+// inside profiler epochs (between the barriers that fold them) and the
+// profiler's evidence state must round-trip exactly.
+func TestCheckpointRoundTripAdaptive(t *testing.T) {
+	cfg := sessionConfig()
+	cfg.MisplaceHomes = true
+	cfg.AdaptiveHomes = true
+	ref := runSession(t, cfg, 0)
+	refFP, refSum := finishFingerprint(t, ref)
+
+	for k := 0; k <= ref.Steps(); k++ {
+		s := runSession(t, cfg, k)
+		ck, err := s.Checkpoint()
+		if err != nil {
+			t.Fatalf("k=%d: checkpoint: %v", k, err)
+		}
+		resumed, err := jacobi.ResumeSession(ck)
+		if err != nil {
+			t.Fatalf("k=%d: resume: %v", k, err)
+		}
+		fp, sum := finishFingerprint(t, resumed)
+		if fp != refFP {
+			t.Fatalf("k=%d: restored fingerprint %s, unbroken run %s", k, fp, refFP)
+		}
+		if sum != refSum {
+			t.Fatalf("k=%d: restored checksum %v, unbroken run %v", k, sum, refSum)
+		}
+	}
+}
+
+// faultyPlan is the bench's faulty-jacobi scenario: node 2 fail-stops three
+// times, once per work unit (the first mid-compute, the later two parked
+// across step boundaries), warm-resuming from its recorded checkpoints each
+// time. Every crash/restart gap spans a safe point, so the sweep checkpoints
+// runs with a dead node, a mid-plan cursor, and a non-trivial checkpoint
+// registry — all of which must survive the wire round-trip.
+func faultyPlan() *dsmpm2.FaultPlan {
+	return dsmpm2.NewFaultPlan(11).
+		Crash(dsmpm2.Time(400*dsmpm2.Microsecond), 2).
+		Restart(dsmpm2.Time(20*dsmpm2.Millisecond), 2).
+		Crash(dsmpm2.Time(21*dsmpm2.Millisecond), 2).
+		Restart(dsmpm2.Time(40*dsmpm2.Millisecond), 2).
+		Crash(dsmpm2.Time(41*dsmpm2.Millisecond), 2).
+		Restart(dsmpm2.Time(60*dsmpm2.Millisecond), 2)
+}
+
+// TestCheckpointMidFaultPlan sweeps the round-trip property across a run
+// with a fault plan injected through the resumable cursor: checkpoints land
+// before the crash, while node 2 is dead, and after its restart, and every
+// restored run must replay the rest of the plan bit-identically.
+func TestCheckpointMidFaultPlan(t *testing.T) {
+	cfg := sessionConfig()
+	cfg.FaultPlan = faultyPlan()
+	ref := runSession(t, cfg, 0)
+	refFP, refSum := finishFingerprint(t, ref)
+	if ref.System().RecoveryStats().Crashes == 0 {
+		t.Fatalf("fault plan applied no crash; the sweep would not cover a mid-plan point")
+	}
+	want := jacobi.SolveSerial(cfg.N, cfg.Iterations)
+	if refSum != want {
+		t.Fatalf("faulty reference checksum %v, serial %v", refSum, want)
+	}
+
+	sawDead := false
+	for k := 0; k <= ref.Steps(); k++ {
+		cfgK := sessionConfig()
+		cfgK.FaultPlan = faultyPlan()
+		s := runSession(t, cfgK, k)
+		if s.System().NodeDead(2) {
+			sawDead = true
+		}
+		ck, err := s.Checkpoint()
+		if err != nil {
+			t.Fatalf("k=%d: checkpoint: %v", k, err)
+		}
+		data, err := ck.Encode()
+		if err != nil {
+			t.Fatalf("k=%d: encode: %v", k, err)
+		}
+		ck2, err := dsmpm2.DecodeCheckpoint(data)
+		if err != nil {
+			t.Fatalf("k=%d: decode: %v", k, err)
+		}
+		resumed, err := jacobi.ResumeSession(ck2)
+		if err != nil {
+			t.Fatalf("k=%d: resume: %v", k, err)
+		}
+		fp, sum := finishFingerprint(t, resumed)
+		if fp != refFP {
+			t.Fatalf("k=%d: restored fingerprint %s, unbroken run %s", k, fp, refFP)
+		}
+		if sum != refSum {
+			t.Fatalf("k=%d: restored checksum %v, unbroken run %v", k, sum, refSum)
+		}
+	}
+	if !sawDead {
+		t.Fatalf("no sweep point caught node 2 dead; widen the plan window")
+	}
+}
+
+// TestCheckpointDecodeErrors pins the failure modes of the wire format:
+// unknown versions, truncation and corruption must come back as descriptive
+// errors, never a panic or a silent misrestore.
+func TestCheckpointDecodeErrors(t *testing.T) {
+	s := runSession(t, sessionConfig(), 2)
+	ck, err := s.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	data, err := ck.Encode()
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	if _, err := dsmpm2.DecodeCheckpoint(data[:len(data)/2]); err == nil {
+		t.Fatalf("truncated envelope decoded without error")
+	}
+	if _, err := dsmpm2.DecodeCheckpoint([]byte("not a checkpoint")); err == nil {
+		t.Fatalf("garbage decoded without error")
+	}
+
+	bad := strings.Replace(string(data), `"version":1`, `"version":99`, 1)
+	if bad == string(data) {
+		t.Fatalf("version marker not found in envelope")
+	}
+	if _, err := dsmpm2.DecodeCheckpoint([]byte(bad)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("unknown version: got err %v, want version error", err)
+	}
+
+	// Flip one byte inside the body: the recorded hash must catch it.
+	corrupt := []byte(strings.Replace(string(data), `"nodes":16`, `"nodes":17`, 1))
+	if string(corrupt) == string(data) {
+		t.Fatalf("corruption marker not found in envelope")
+	}
+	if _, err := dsmpm2.DecodeCheckpoint(corrupt); err == nil || !strings.Contains(err.Error(), "hash") {
+		t.Fatalf("corrupted body: got err %v, want hash mismatch", err)
+	}
+}
+
+// TestCheckpointRejectsUnsafePoint verifies capture refuses a system that is
+// not at a safe point, with an error instead of a corrupt snapshot.
+func TestCheckpointRejectsUnsafePoint(t *testing.T) {
+	sys := dsmpm2.MustNew(dsmpm2.Config{Nodes: 2, Seed: 3})
+	lk := sys.NewLock(0)
+	done := make(chan struct{})
+	sys.Spawn(0, "holder", func(t *dsmpm2.Thread) {
+		t.Acquire(lk)
+		t.Release(lk)
+		close(done)
+	})
+	// Before Run: spawn wakes are queued, so the engine is not quiesced.
+	if _, err := sys.Checkpoint(nil); err == nil {
+		t.Fatalf("checkpoint with queued events succeeded")
+	}
+	if err := sys.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	<-done
+	if _, err := sys.Checkpoint(nil); err != nil {
+		t.Fatalf("checkpoint at a drained safe point failed: %v", err)
+	}
+}

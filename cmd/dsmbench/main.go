@@ -89,7 +89,7 @@ func main() {
 }
 
 func realMain() (code int) {
-	exp := flag.String("exp", "all", "experiment: all,rpc,migration,table3,table4,fig4,fig5,protocols,multicluster,contention, or kernel (wall-clock heavy, excluded from all)")
+	exp := flag.String("exp", "all", "experiment: all,rpc,migration,table3,table4,fig4,fig5,protocols,multicluster,contention, or kernel/faults/comm/adapt/ckpt/bisect (explicit opt-in, excluded from all)")
 	cities := flag.Int("cities", 11, "TSP cities for fig4 (paper: 14)")
 	topology := flag.String("topology", "hier", "multicluster topology: hier")
 	nodes := flag.Int("nodes", 8, "cluster size for multicluster")
@@ -104,6 +104,7 @@ func realMain() (code int) {
 	faultSeed := flag.Int64("faultseed", 11, "seed for generated fault plans and message-loss draws")
 	faultProtos := flag.String("faultproto", "hbrc_mw,entry_mw", "comma-separated protocols for the faults experiment")
 	shards := flag.Int("shards", 0, "kernel experiment: max shard count for the host-scaling matrix (0 = host CPUs, floored at 2)")
+	perturb := flag.Int("perturb", 3, "bisect experiment: session step at which the deliberate divergence is injected")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
 	flag.Parse()
@@ -209,6 +210,20 @@ func realMain() (code int) {
 		any = true
 		if err := adapt(*jsonOut); err != nil {
 			log.Printf("adapt: %v", err)
+			return 1
+		}
+	}
+	if *exp == "ckpt" { // explicit opt-in, not part of "all"
+		any = true
+		if err := ckpt(*jsonOut); err != nil {
+			log.Printf("ckpt: %v", err)
+			return 1
+		}
+	}
+	if *exp == "bisect" { // explicit opt-in, not part of "all"
+		any = true
+		if err := bisect(*perturb); err != nil {
+			log.Printf("bisect: %v", err)
 			return 1
 		}
 	}
@@ -637,6 +652,110 @@ func adapt(writeJSON bool) error {
 		return fmt.Errorf("-json: %w", err)
 	}
 	fmt.Printf("wrote %s\n", benchAdaptFile)
+	return nil
+}
+
+// benchCkptFile is the checkpoint/restore snapshot the ckpt experiment
+// writes with -json.
+const benchCkptFile = "BENCH_ckpt.json"
+
+// ckptSnapshot is the BENCH_ckpt.json document.
+type ckptSnapshot struct {
+	Experiment string         `json:"experiment"`
+	Host       bench.HostMeta `json:"host"`
+	// Roundtrip sweeps the restore property over every safe point.
+	Roundtrip bench.CkptRoundtrip `json:"roundtrip"`
+	// Restart compares warm (resume-from-checkpoint) against cold
+	// (redo-from-scratch) crash recovery on the faulty-jacobi plan; the
+	// acceptance headline is warm.redone_units < cold.redone_units.
+	Restart []bench.CkptRestart `json:"restart"`
+	// FastForward is the warm-started run: resume a mid-run snapshot and
+	// skip the ramp-up.
+	FastForward bench.CkptFastForward `json:"fast_forward"`
+}
+
+// ckpt runs the checkpoint/restore experiment suite.
+func ckpt(writeJSON bool) error {
+	header("Checkpoint/restore: round-trip sweep, warm vs cold crash-restart, fast-forward")
+	rt, err := bench.CkptRoundtripSweep()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("round-trip: %d/%d safe points restored bit-identically (%d mismatches), snapshot <= %d bytes\n",
+		rt.Swept-rt.Mismatches, rt.Swept, rt.Mismatches, rt.SnapshotBytes)
+	if rt.Mismatches > 0 {
+		return fmt.Errorf("ckpt: %d of %d sweep points diverged after restore", rt.Mismatches, rt.Swept)
+	}
+
+	warm, cold, err := bench.CkptRestartCompare()
+	if err != nil {
+		return err
+	}
+	warm.ChecksumOK = warm.Checksum == rt.Checksum
+	cold.ChecksumOK = cold.Checksum == rt.Checksum
+	fmt.Printf("%-6s %13s %14s %12s %10s %9s\n", "mode", "redone units", "warm restarts", "elapsed(ms)", "checksum", "correct")
+	for _, r := range []bench.CkptRestart{warm, cold} {
+		fmt.Printf("%-6s %13d %14d %12.2f %10.4f %9v\n", r.Mode, r.RedoneUnits, r.WarmRestarts, r.VirtualMS, r.Checksum, r.ChecksumOK)
+	}
+	if warm.RedoneUnits >= cold.RedoneUnits {
+		return fmt.Errorf("ckpt: warm restart redid %d units, cold %d — resume-from-checkpoint must redo strictly fewer",
+			warm.RedoneUnits, cold.RedoneUnits)
+	}
+	if !warm.ChecksumOK {
+		return fmt.Errorf("ckpt: warm restart checksum %v does not match the fault-free reference %v",
+			warm.Checksum, rt.Checksum)
+	}
+	if !cold.ChecksumOK {
+		fmt.Println("(cold redo also corrupts the answer: the rotated Jacobi buffers no longer hold" +
+			" the old units' inputs, so redoing them reads moved-on neighbour data — per-unit" +
+			" checkpoints make node-local recovery consistent, not just cheap)")
+	}
+
+	ff, err := bench.CkptFastForwardRun()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fast-forward: resume at step %d (skipping %d committed units): %.1f ms host wall vs %.1f ms from scratch\n",
+		ff.ResumeStep, ff.UnitsSkipped, ff.ResumeWallMS, ff.FullWallMS)
+	fmt.Println("(every number but the host wall times is virtual-time exact and replay-stable)")
+
+	if !writeJSON {
+		return nil
+	}
+	snap := ckptSnapshot{Experiment: "ckpt", Host: bench.Host(),
+		Roundtrip: rt, Restart: []bench.CkptRestart{warm, cold}, FastForward: ff}
+	f, err := os.Create(benchCkptFile)
+	if err != nil {
+		return fmt.Errorf("-json: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&snap); err != nil {
+		return fmt.Errorf("-json: %w", err)
+	}
+	fmt.Printf("wrote %s\n", benchCkptFile)
+	return nil
+}
+
+// bisect demonstrates divergence bisection: a deliberate trace perturbation
+// is injected at -perturb, and a binary search over per-step fingerprints
+// recovers the step from O(log n) probe runs.
+func bisect(perturbStep int) error {
+	header("Divergence bisection: binary search for the first divergent safe point")
+	res, err := bench.CkptBisectRun(perturbStep)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %6d\n", "session steps", res.Steps)
+	fmt.Printf("%-28s %6d\n", "perturbation injected at", res.InjectedStep)
+	fmt.Printf("%-28s %6d\n", "first divergent safe point", res.FoundStep)
+	fmt.Printf("%-28s %6d\n", "probe runs", res.Probes)
+	if !res.Recovered {
+		return fmt.Errorf("bisect: found step %d does not match the injected step %d (+1)", res.FoundStep, res.InjectedStep)
+	}
+	fmt.Println("(the probe at step k replays the suspect run to safe point k and compares its")
+	fmt.Println(" fingerprint to the reference ledger — a golden break is located without full traces)")
 	return nil
 }
 

@@ -53,7 +53,19 @@
 // actions, and crash-tolerant barriers (Thread.BarrierAs) let restarted
 // workers rejoin mid-computation. Replays of the same seed and plan are
 // bit-identical; see examples/faults and DESIGN.md ("Fault model &
-// recovery").
+// recovery"). Recovery-mode retry timing is tunable via Config.Recovery
+// (exponential backoff with seeded jitter; the zero value is the historical
+// flat schedule).
+//
+// Because the replay is deterministic, the whole simulation state at a
+// drained safe point is a value: System.Checkpoint serializes it (versioned,
+// self-describing, content-hashed) and Restore rebuilds a System that
+// finishes bit-identically to the unbroken run. Crash-restart experiments
+// warm-start restarted nodes from the per-unit checkpoint registry
+// (DSM RecordCheckpoint/LastCheckpoint), benchmarks resume mid-run
+// snapshots, and `dsmbench -exp bisect` binary-searches the first safe point
+// whose fingerprint diverges from a reference ledger. See DESIGN.md
+// ("Checkpoint/restore").
 //
 // # Quick start
 //

@@ -136,6 +136,11 @@ type Config struct {
 	Protocol string
 	// Seed drives the deterministic simulation (default 1).
 	Seed int64
+	// Recovery tunes the bounded protocol waits (FetchPage retries and
+	// friends) of fault-injected runs: base timeout, exponential backoff and
+	// seeded jitter. The zero value keeps the historical flat 5 ms timeout.
+	// FaultOptions fields, when set, override these per injection.
+	Recovery RecoveryTuning
 	// Trace enables post-mortem span recording.
 	Trace bool
 }
@@ -147,6 +152,18 @@ type System struct {
 	dsm *core.DSM
 	ids protocols.IDs
 	tr  *trace.Log
+
+	// cfg is the defaulted configuration the system was built from, retained
+	// so a checkpoint can serialize it (see checkpoint.go).
+	cfg Config
+
+	// cursor is the resumable fault-plan cursor (nil under the legacy
+	// up-front injection); Run re-arms it so fault events parked across a
+	// drained safe point fire in the next run chunk. plan/opts are retained
+	// for checkpointing.
+	cursor    *sim.FaultCursor
+	faultPlan *FaultPlan
+	faultOpts FaultOptions
 }
 
 // New builds a System from cfg.
@@ -189,7 +206,7 @@ func New(cfg Config) (*System, error) {
 	reg, ids := protocols.NewRegistry()
 	d := core.New(rt, reg, core.DefaultCosts())
 	d.SetBatching(!cfg.UnbatchedComm)
-	s := &System{rt: rt, dsm: d, ids: ids}
+	s := &System{rt: rt, dsm: d, ids: ids, cfg: cfg}
 	if cfg.Trace {
 		s.tr = trace.NewLog()
 	}
@@ -291,8 +308,15 @@ func (s *System) SpawnStack(node int, name string, stack int, fn func(t *Thread)
 }
 
 // Run drives the simulation until all application threads finish. It
-// returns an error if the system deadlocks.
-func (s *System) Run() error { return s.rt.Run() }
+// returns an error if the system deadlocks. A resumable fault plan
+// (InjectFaultsResumable) is re-armed first, so fault events that parked
+// across a drained safe point fire in this run chunk.
+func (s *System) Run() error {
+	if s.cursor != nil && !s.cursor.Done() {
+		s.cursor.Arm()
+	}
+	return s.rt.Run()
+}
 
 // Now returns the current virtual time.
 func (s *System) Now() Time { return s.rt.Now() }

@@ -60,6 +60,49 @@ var LoadFaultPlan = sim.LoadFaultPlan
 // sparing the protected nodes. Deterministic per seed.
 var GenerateMTBFPlan = sim.GenerateMTBFPlan
 
+// RecoveryTuning is the retry-timing half of fault injection, settable
+// cluster-wide on Config.Recovery (FaultOptions overrides it field-by-field
+// at injection time). All decisions it parameterizes are deterministic: the
+// backoff is a pure function of the attempt number and the jitter comes from
+// a private seeded PRNG, so tuned runs replay bit-identically.
+type RecoveryTuning struct {
+	// Timeout bounds blocking protocol waits in recovery mode; zero uses
+	// core.DefaultRecoveryTimeout (5 ms virtual).
+	Timeout Duration
+	// Backoff scales the retry timeout exponentially across consecutive
+	// retries of one protocol action (attempt k waits Timeout·Backoff^k);
+	// values <= 1 keep the historical flat timeout.
+	Backoff float64
+	// RetryMax caps the backed-off timeout; zero means no cap.
+	RetryMax Duration
+	// Jitter adds a deterministic pseudo-random delay in [0, Jitter) to
+	// every bounded wait, de-synchronizing retry storms; zero draws nothing.
+	Jitter Duration
+	// JitterSeed seeds the jitter PRNG (zero means 1).
+	JitterSeed int64
+}
+
+// merged overlays the per-injection options over the cluster-wide tuning:
+// any field set on opts wins.
+func (r RecoveryTuning) merged(opts FaultOptions) RecoveryTuning {
+	if opts.Timeout != 0 {
+		r.Timeout = opts.Timeout
+	}
+	if opts.Backoff != 0 {
+		r.Backoff = opts.Backoff
+	}
+	if opts.RetryMax != 0 {
+		r.RetryMax = opts.RetryMax
+	}
+	if opts.Jitter != 0 {
+		r.Jitter = opts.Jitter
+	}
+	if opts.JitterSeed != 0 {
+		r.JitterSeed = opts.JitterSeed
+	}
+	return r
+}
+
 // FaultOptions tunes fault injection.
 type FaultOptions struct {
 	// Partition selects what happens on partitioned links (default:
@@ -68,10 +111,41 @@ type FaultOptions struct {
 	// Timeout bounds blocking protocol waits in recovery mode; zero uses
 	// core.DefaultRecoveryTimeout (5 ms virtual).
 	Timeout Duration
+	// Backoff scales the retry timeout exponentially across consecutive
+	// retries of one protocol action (attempt k waits Timeout·Backoff^k);
+	// values <= 1 keep the historical flat timeout. See
+	// core.RecoveryConfig.Backoff.
+	Backoff float64
+	// RetryMax caps the backed-off timeout; zero means no cap.
+	RetryMax Duration
+	// Jitter adds a deterministic pseudo-random delay in [0, Jitter) to
+	// every bounded wait, de-synchronizing retry storms; zero draws nothing.
+	Jitter Duration
+	// JitterSeed seeds the jitter PRNG (zero means 1).
+	JitterSeed int64
 	// OnRestart runs in engine context after a crashed node's DSM state
 	// has been rebuilt — the hook for respawning the node's workers. It
 	// must not block (spawning threads is fine).
 	OnRestart func(node int)
+}
+
+// enableFaultLayers switches on the network fault layer and the DSM recovery
+// manager (idempotently), the shared half of both injection paths.
+func (s *System) enableFaultLayers(seed int64, opts FaultOptions) {
+	if !s.rt.Network().FaultsEnabled() {
+		s.rt.EnableFaults(seed, opts.Partition)
+	}
+	if !s.dsm.RecoveryEnabled() {
+		tune := s.cfg.Recovery.merged(opts)
+		s.dsm.EnableRecovery(core.RecoveryConfig{
+			Timeout:    tune.Timeout,
+			Backoff:    tune.Backoff,
+			RetryMax:   tune.RetryMax,
+			Jitter:     tune.Jitter,
+			JitterSeed: tune.JitterSeed,
+			OnRestart:  opts.OnRestart,
+		})
+	}
 }
 
 // InjectFaults arms the system with a fault plan: the network fault layer
@@ -87,16 +161,28 @@ func (s *System) InjectFaults(plan *FaultPlan, opts FaultOptions) {
 	if plan == nil {
 		return // mirror sim.Engine.InjectFaults: a nil plan is a no-op
 	}
-	if !s.rt.Network().FaultsEnabled() {
-		s.rt.EnableFaults(plan.Seed, opts.Partition)
-	}
-	if !s.dsm.RecoveryEnabled() {
-		s.dsm.EnableRecovery(core.RecoveryConfig{
-			Timeout:   opts.Timeout,
-			OnRestart: opts.OnRestart,
-		})
-	}
+	s.enableFaultLayers(plan.Seed, opts)
 	s.rt.Engine().InjectFaults(plan, s.applyFault)
+}
+
+// InjectFaultsResumable is InjectFaults through a resumable cursor: instead
+// of scheduling every plan event up front, only the next pending event is
+// armed at a time, and an event whose time falls inside a drained safe point
+// (between two Run chunks of a checkpointing application) parks and fires at
+// the start of the next chunk instead of being swallowed by the drain. This
+// is the injection mode checkpointable runs must use — it is bit-identical
+// to InjectFaults for a single uninterrupted Run — because the cursor's
+// position (unlike a closure queue) serializes into a Checkpoint and resumes.
+func (s *System) InjectFaultsResumable(plan *FaultPlan, opts FaultOptions) {
+	if plan == nil {
+		return
+	}
+	s.enableFaultLayers(plan.Seed, opts)
+	s.faultPlan = plan
+	s.faultOpts = opts
+	// Not armed here: System.Run arms before every phase, and an event queued
+	// outside a Run would spoil the drained safe point a checkpoint needs.
+	s.cursor = s.rt.Engine().NewFaultCursor(plan, s.applyFault)
 }
 
 // applyFault routes one fault event to the layer that implements it.

@@ -43,6 +43,10 @@ type Config struct {
 	// that writes it — the deliberately bad static placement the adapt
 	// experiment starts from.
 	MisplaceHomes bool
+	// Recovery tunes the retry timing of fault-injected runs (base timeout,
+	// exponential backoff, seeded jitter); forwarded to
+	// dsmpm2.Config.Recovery.
+	Recovery dsmpm2.RecoveryTuning
 	// AdaptiveHomes enables the access-pattern profiler and dynamic home
 	// migration: misplaced rows move onto their writers at barrier epochs.
 	AdaptiveHomes bool
@@ -139,6 +143,7 @@ func Run(cfg Config) (Result, error) {
 		Seed:          cfg.Seed,
 		UnbatchedComm: cfg.Unbatched,
 		AdaptiveHomes: cfg.AdaptiveHomes,
+		Recovery:      cfg.Recovery,
 		Shards:        cfg.Shards,
 	})
 	if err != nil {

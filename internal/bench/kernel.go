@@ -8,8 +8,6 @@ package bench
 // perf trajectory and the root BenchmarkKernel* entries.
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"runtime"
 	"time"
@@ -305,16 +303,4 @@ func KernelBaseline() []KernelResult {
 // workload under the same seed must produce identical fingerprints; the
 // golden-trace test pins a digest captured before the kernel rewrite to prove
 // the rewrite preserved virtual-time behaviour bit for bit.
-func TraceFingerprint(sys *dsmpm2.System) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "now=%d\n", sys.Now())
-	for _, ft := range sys.Timings().All() {
-		fmt.Fprintf(h, "%s|%v|%s|%d|%d|%d|%d|%d|%d|%d|%d|%d\n",
-			ft.Protocol, ft.Write, ft.Link, ft.Start,
-			ft.Detect, ft.Request, ft.Server, ft.Transfer, ft.Install,
-			ft.Migration, ft.Overhead, ft.Total)
-	}
-	st := sys.Stats()
-	fmt.Fprintf(h, "stats=%+v\n", st)
-	return hex.EncodeToString(h.Sum(nil))
-}
+func TraceFingerprint(sys *dsmpm2.System) string { return sys.Fingerprint() }

@@ -277,10 +277,12 @@ func (d *DSM) waitDiffs(t *pm2.Thread, f *diffFlight) {
 		f.m.reply.Recv(t.Proc())
 		return
 	}
+	attempt := 0
 	for {
-		if _, ok := f.m.reply.RecvTimeout(t.Proc(), d.recovery.cfg.Timeout); ok {
+		if _, ok := f.m.reply.RecvTimeout(t.Proc(), d.recovery.retryDelay(attempt)); ok {
 			return
 		}
+		attempt++
 		d.recovery.stats.Retries++
 		if !d.NodeDead(f.dest) {
 			// The home is alive but silent: the diff or its ack may have

@@ -146,10 +146,12 @@ func (d *DSM) serveMigrate(h *pm2.Thread, m *migMsg) {
 	if d.recovery == nil {
 		ack.Recv(h.Proc())
 	} else {
+		attempt := 0
 		for {
-			if _, ok := ack.RecvTimeout(h.Proc(), d.recovery.cfg.Timeout); ok {
+			if _, ok := ack.RecvTimeout(h.Proc(), d.recovery.retryDelay(attempt)); ok {
 				break
 			}
+			attempt++
 			d.recovery.stats.Retries++
 			if d.NodeDead(m.newHome) {
 				// The new home died before installing: the page stays here,
@@ -319,14 +321,16 @@ func (d *DSM) finishMigration(h *pm2.Thread, f *migFlight) bool {
 				return false
 			}
 		} else {
+			attempt := 0
 			for {
-				v, got := f.reply.RecvTimeout(h.Proc(), d.recovery.cfg.Timeout)
+				v, got := f.reply.RecvTimeout(h.Proc(), d.recovery.retryDelay(attempt))
 				if got {
 					if ok, _ := v.(bool); !ok {
 						return false
 					}
 					break
 				}
+				attempt++
 				d.recovery.stats.Retries++
 				if d.NodeDead(f.owner) {
 					return false

@@ -234,11 +234,13 @@ func (b *Batch) waitFlight(f *batchFlight) {
 		d.stats.InvAcks += int64(f.acks)
 		return
 	}
+	attempt := 0
 	for {
-		if _, ok := f.reply.RecvTimeout(t.Proc(), d.recovery.cfg.Timeout); ok {
+		if _, ok := f.reply.RecvTimeout(t.Proc(), d.recovery.retryDelay(attempt)); ok {
 			d.stats.InvAcks += int64(f.acks)
 			return
 		}
+		attempt++
 		d.recovery.stats.Retries++
 		if !d.NodeDead(f.dest) {
 			// Alive but silent: the envelope or its coalesced reply was
@@ -303,8 +305,9 @@ func (b *Batch) flushUnbatched(order []int, wait bool) {
 			d.stats.InvAcks++
 		}
 	} else {
+		attempt := 0
 		for len(outstanding) > 0 {
-			v, ok := ack.RecvTimeout(t.Proc(), d.recovery.cfg.Timeout)
+			v, ok := ack.RecvTimeout(t.Proc(), d.recovery.retryDelay(attempt))
 			if ok {
 				if a, isAck := v.(invAck); isAck {
 					if _, pending := outstanding[a]; pending {
@@ -314,6 +317,7 @@ func (b *Batch) flushUnbatched(order []int, wait bool) {
 				}
 				continue
 			}
+			attempt++
 			// Timed out: dead destinations need no acks; live ones get
 			// their still-outstanding (idempotent) invalidations again.
 			keys := make([]invAck, 0, len(outstanding))

@@ -71,13 +71,15 @@ func FetchPage(f *Fault, write bool) {
 	// if the server died, the recovery sweep has redirected the hint to the
 	// page's new home, and the bumped sequence number retires any late
 	// response to the original request.
+	attempt := 0
 	for e.Pending {
-		if e.WaitTimeout(t, d.recovery.cfg.Timeout) {
+		if e.WaitTimeout(t, d.recovery.retryDelay(attempt)) {
 			continue
 		}
 		if !e.Pending || e.reqSeq != seq {
 			continue // another thread's fetch owns the entry now
 		}
+		attempt++
 		e.reqSeq++
 		seq = e.reqSeq
 		e.pendingSeq = e.InvalSeq
@@ -257,8 +259,9 @@ func InvalidateCopies(d *DSM, t *pm2.Thread, pg Page, copyset []int, newOwner in
 		d.sendInvalidate(t.Node(), n, &invMsg{page: pg, from: t.Node(), newOwner: newOwner, ack: ack})
 		outstanding[n] = true
 	}
+	attempt := 0
 	for len(outstanding) > 0 {
-		v, ok := ack.RecvTimeout(t.Proc(), d.recovery.cfg.Timeout)
+		v, ok := ack.RecvTimeout(t.Proc(), d.recovery.retryDelay(attempt))
 		if ok {
 			if a, isAck := v.(invAck); isAck && outstanding[a.node] {
 				delete(outstanding, a.node)
@@ -266,6 +269,7 @@ func InvalidateCopies(d *DSM, t *pm2.Thread, pg Page, copyset []int, newOwner in
 			}
 			continue
 		}
+		attempt++
 		remaining := make([]int, 0, len(outstanding))
 		for n := range outstanding {
 			remaining = append(remaining, n)

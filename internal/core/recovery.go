@@ -36,6 +36,22 @@ type RecoveryConfig struct {
 	// invalidation acks, diff replies); on expiry the action re-checks the
 	// fault state and retries. Zero selects DefaultRecoveryTimeout.
 	Timeout sim.Duration
+	// Backoff scales the timeout exponentially across consecutive retries
+	// of one protocol action: attempt k waits Timeout·Backoff^k. Values
+	// <= 1 (including the zero value) keep the historical flat timeout.
+	// Under loss-heavy plans backoff stops a storm of synchronized resends
+	// from re-colliding with the very congestion that delayed them.
+	Backoff float64
+	// RetryMax caps the backed-off timeout. Zero means no cap.
+	RetryMax sim.Duration
+	// Jitter adds a deterministic pseudo-random delay in [0, Jitter) to
+	// every bounded wait, drawn from a private PRNG seeded with JitterSeed,
+	// de-synchronizing retries that would otherwise expire in lockstep.
+	// Zero (the default) draws nothing, keeping existing traces
+	// bit-identical.
+	Jitter sim.Duration
+	// JitterSeed seeds the jitter PRNG. Zero means 1.
+	JitterSeed int64
 	// OnRestart, if set, runs in engine context after a node's DSM state
 	// has been rebuilt for its cold restart — the hook applications use to
 	// respawn the node's workers. It must not block.
@@ -61,6 +77,15 @@ type RecoveryStats struct {
 	Lost int
 	// Retries counts protocol actions re-sent after a timeout or a crash.
 	Retries int64
+	// RedoneUnits counts application work units re-executed after restarts
+	// because they were committed before the crash but after the restarted
+	// node's resume point (applications report them via AddRedoneUnits).
+	// Warm restarts resuming from a checkpoint redo strictly fewer units
+	// than cold redo-from-scratch restarts.
+	RedoneUnits int64
+	// WarmRestarts counts restarts that resumed from a recorded checkpoint
+	// (LastCheckpoint >= 0) instead of redoing from scratch.
+	WarmRestarts int
 }
 
 // recoveryState is the DSM's recovery manager (nil when disabled).
@@ -68,6 +93,13 @@ type recoveryState struct {
 	cfg   RecoveryConfig
 	dead  []bool
 	stats RecoveryStats
+	// jitter is the retry-jitter PRNG: counted so checkpoints can record
+	// and re-establish its position. nil when cfg.Jitter is zero.
+	jitter *sim.CountedRand
+	// ckpts records, per node, the last work unit the application committed
+	// a local checkpoint for (-1 when none). OnRestart hooks read it back
+	// through LastCheckpoint to warm-start instead of redoing the run.
+	ckpts []int
 }
 
 // EnableRecovery switches the recovery manager on. Call it before Run; the
@@ -78,9 +110,85 @@ func (d *DSM) EnableRecovery(cfg RecoveryConfig) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = DefaultRecoveryTimeout
 	}
-	d.recovery = &recoveryState{
-		cfg:  cfg,
-		dead: make([]bool, d.rt.Nodes()),
+	rec := &recoveryState{
+		cfg:   cfg,
+		dead:  make([]bool, d.rt.Nodes()),
+		ckpts: make([]int, d.rt.Nodes()),
+	}
+	for i := range rec.ckpts {
+		rec.ckpts[i] = -1
+	}
+	if cfg.Jitter > 0 {
+		seed := cfg.JitterSeed
+		if seed == 0 {
+			seed = 1
+		}
+		rec.jitter = sim.NewCountedRand(seed)
+	}
+	d.recovery = rec
+}
+
+// retryDelay returns the bounded wait for one protocol action's attempt-th
+// expiry (attempt 0 is the first wait): the configured timeout scaled by
+// Backoff^attempt, capped at RetryMax, plus one jitter draw. With the
+// zero-value config extensions this is exactly cfg.Timeout, so existing
+// traces replay bit-identically.
+func (rec *recoveryState) retryDelay(attempt int) sim.Duration {
+	d := rec.cfg.Timeout
+	if rec.cfg.Backoff > 1 {
+		f := float64(d)
+		for i := 0; i < attempt; i++ {
+			f *= rec.cfg.Backoff
+			if rec.cfg.RetryMax > 0 && f >= float64(rec.cfg.RetryMax) {
+				f = float64(rec.cfg.RetryMax)
+				break
+			}
+		}
+		d = sim.Duration(f)
+	}
+	if rec.cfg.RetryMax > 0 && d > rec.cfg.RetryMax {
+		d = rec.cfg.RetryMax
+	}
+	if rec.jitter != nil {
+		d += sim.Duration(rec.jitter.Int63n(int64(rec.cfg.Jitter)))
+	}
+	return d
+}
+
+// RecordCheckpoint notes that node committed a local checkpoint covering
+// work units up to and including unit. Applications call it right after
+// their flush-then-commit point; a later restart's OnRestart hook reads it
+// back through LastCheckpoint. No-op when recovery is off.
+func (d *DSM) RecordCheckpoint(node, unit int) {
+	if d.recovery == nil || node < 0 || node >= len(d.recovery.ckpts) {
+		return
+	}
+	if unit > d.recovery.ckpts[node] {
+		d.recovery.ckpts[node] = unit
+	}
+}
+
+// LastCheckpoint reports the last work unit node committed a checkpoint
+// for, or -1 when none was recorded (or recovery is off).
+func (d *DSM) LastCheckpoint(node int) int {
+	if d.recovery == nil || node < 0 || node >= len(d.recovery.ckpts) {
+		return -1
+	}
+	return d.recovery.ckpts[node]
+}
+
+// AddRedoneUnits accumulates application-reported redone work units into
+// the recovery stats (see RecoveryStats.RedoneUnits).
+func (d *DSM) AddRedoneUnits(n int) {
+	if d.recovery != nil {
+		d.recovery.stats.RedoneUnits += int64(n)
+	}
+}
+
+// NoteWarmRestart counts a restart that resumed from a recorded checkpoint.
+func (d *DSM) NoteWarmRestart() {
+	if d.recovery != nil {
+		d.recovery.stats.WarmRestarts++
 	}
 }
 

@@ -1,0 +1,50 @@
+package isomalloc
+
+import "fmt"
+
+// State is the allocator's serializable state: the per-node bump cursors,
+// the live allocations, and the per-node free lists. Free lists keep their
+// insertion order — Alloc reuses them first-fit in that order, so restoring
+// them out of order would change which range a post-restore allocation gets.
+type State struct {
+	Next   []Addr    `json:"next"`
+	Allocs []Range   `json:"allocs"`
+	Freed  [][]Range `json:"freed"`
+}
+
+// Capture snapshots the allocator.
+func (a *Allocator) Capture() State {
+	s := State{
+		Next:   append([]Addr(nil), a.next...),
+		Allocs: a.Live(),
+		Freed:  make([][]Range, a.nodes),
+	}
+	for n := 0; n < a.nodes; n++ {
+		for _, r := range a.freed[n] {
+			s.Freed[n] = append(s.Freed[n], *r)
+		}
+	}
+	return s
+}
+
+// Restore installs a captured state into an allocator of the same geometry,
+// replacing whatever it held.
+func (a *Allocator) Restore(s State) error {
+	if len(s.Next) != a.nodes || len(s.Freed) != a.nodes {
+		return fmt.Errorf("isomalloc: restore of %d-node state into %d-node allocator", len(s.Next), a.nodes)
+	}
+	a.next = append([]Addr(nil), s.Next...)
+	a.allocs = make(map[Addr]*Range, len(s.Allocs))
+	for _, r := range s.Allocs {
+		r := r
+		a.allocs[r.Base] = &r
+	}
+	a.freed = make(map[int][]*Range)
+	for n, fl := range s.Freed {
+		for _, r := range fl {
+			r := r
+			a.freed[n] = append(a.freed[n], &r)
+		}
+	}
+	return nil
+}

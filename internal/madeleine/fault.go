@@ -2,7 +2,6 @@ package madeleine
 
 import (
 	"fmt"
-	"math/rand"
 
 	"dsmpm2/internal/sim"
 )
@@ -98,8 +97,12 @@ type linkFault struct {
 }
 
 // faultState is one shard's fault layer (nil when faults are disabled).
+// The loss PRNG is a counted stream so a checkpoint can record how many
+// draws the run consumed and a restore can fast-forward a fresh stream to
+// the same point (see snapshot.go); the values drawn are bit-identical to
+// the plain rand.Rand this replaced.
 type faultState struct {
-	rng    *rand.Rand
+	rng    *sim.CountedRand
 	policy PartitionPolicy
 	dead   []bool
 	links  map[linkKey]*linkFault
@@ -119,7 +122,7 @@ func (nw *Network) EnableFaults(seed int64, policy PartitionPolicy) {
 	}
 	for i, st := range nw.shs {
 		st.faults = &faultState{
-			rng:    rand.New(rand.NewSource(seed + int64(i))),
+			rng:    sim.NewCountedRand(seed + int64(i)),
 			policy: policy,
 			dead:   make([]bool, nw.n),
 			links:  make(map[linkKey]*linkFault),

@@ -1,0 +1,168 @@
+package madeleine
+
+import (
+	"fmt"
+	"sort"
+
+	"dsmpm2/internal/sim"
+)
+
+// Network checkpoint/restore. A safe point for the network means no traffic
+// in flight — the engine's queue is drained — so the serializable state is
+// the occupancy clocks, the traffic counters and the fault layer's view.
+// Messages held on partitioned links are the one exception: they ARE
+// in-flight traffic parked inside the network, and their payloads are live
+// Go values (closures over channels) that cannot be serialized, so a
+// checkpoint while a queueing partition holds traffic is rejected.
+
+// LinkClock is one directed link's occupancy clock.
+type LinkClock struct {
+	From int      `json:"from"`
+	To   int      `json:"to"`
+	Free sim.Time `json:"free"`
+}
+
+// LinkFaultState is one directed link's fault configuration.
+type LinkFaultState struct {
+	From        int     `json:"from"`
+	To          int     `json:"to"`
+	Partitioned bool    `json:"partitioned,omitempty"`
+	DropRate    float64 `json:"drop_rate,omitempty"`
+	DupRate     float64 `json:"dup_rate,omitempty"`
+}
+
+// FaultLayerState is one shard's fault layer.
+type FaultLayerState struct {
+	Policy   int              `json:"policy"`
+	Dead     []bool           `json:"dead"`
+	Links    []LinkFaultState `json:"links,omitempty"`
+	Stats    FaultStats       `json:"stats"`
+	RNGDraws uint64           `json:"rng_draws"`
+}
+
+// ShardNetState is one shard's slice of the network state.
+type ShardNetState struct {
+	NICFree   []sim.Time       `json:"nic_free"`
+	LinkFree  []LinkClock      `json:"link_free,omitempty"`
+	LinkStats LinkStats        `json:"link_stats"`
+	Msgs      int              `json:"msgs"`
+	Bytes     int64            `json:"bytes"`
+	Envelopes int              `json:"envelopes"`
+	Faults    *FaultLayerState `json:"faults,omitempty"`
+}
+
+// NetState is the network's complete serializable state.
+type NetState struct {
+	Shards []ShardNetState `json:"shards"`
+}
+
+// CaptureState serializes the network at a safe point, or explains why the
+// moment is not one. It never mutates the network.
+func (nw *Network) CaptureState() (*NetState, error) {
+	s := &NetState{}
+	for _, st := range nw.shs {
+		ss := ShardNetState{
+			NICFree:   append([]sim.Time(nil), st.nicFree...),
+			LinkStats: st.linkStats,
+			Msgs:      st.msgs,
+			Bytes:     st.bytes,
+			Envelopes: st.envelopes,
+		}
+		keys := make([]linkKey, 0, len(st.linkFree))
+		for k := range st.linkFree {
+			keys = append(keys, k)
+		}
+		sortLinkKeys(keys)
+		for _, k := range keys {
+			ss.LinkFree = append(ss.LinkFree, LinkClock{From: k.from, To: k.to, Free: st.linkFree[k]})
+		}
+		if fs := st.faults; fs != nil {
+			fl := &FaultLayerState{
+				Policy:   int(fs.policy),
+				Dead:     append([]bool(nil), fs.dead...),
+				Stats:    fs.stats,
+				RNGDraws: fs.rng.Draws(),
+			}
+			lkeys := make([]linkKey, 0, len(fs.links))
+			for k := range fs.links {
+				lkeys = append(lkeys, k)
+			}
+			sortLinkKeys(lkeys)
+			for _, k := range lkeys {
+				lf := fs.links[k]
+				if len(lf.held) > 0 {
+					return nil, fmt.Errorf("madeleine: capture with %d message(s) held on partitioned link %d->%d (heal before checkpointing)", len(lf.held), k.from, k.to)
+				}
+				if !lf.partitioned && lf.dropRate == 0 && lf.dupRate == 0 {
+					continue // healed, reliable link: nothing to carry
+				}
+				fl.Links = append(fl.Links, LinkFaultState{
+					From: k.from, To: k.to, Partitioned: lf.partitioned,
+					DropRate: lf.dropRate, DupRate: lf.dupRate,
+				})
+			}
+			ss.Faults = fl
+		}
+		s.Shards = append(s.Shards, ss)
+	}
+	return s, nil
+}
+
+func sortLinkKeys(keys []linkKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].from != keys[j].from {
+			return keys[i].from < keys[j].from
+		}
+		return keys[i].to < keys[j].to
+	})
+}
+
+// RestoreState installs a captured network state into this network, which
+// must have the same shape (node count, shard count) and — when the capture
+// had faults enabled — must already have EnableFaults called with the
+// original seed and policy, so the loss PRNG streams can be fast-forwarded
+// rather than recreated (the seed does not serialize here; the layer above
+// records it).
+func (nw *Network) RestoreState(s *NetState) error {
+	if len(s.Shards) != len(nw.shs) {
+		return fmt.Errorf("madeleine: restore of %d-shard state into %d-shard network", len(s.Shards), len(nw.shs))
+	}
+	for i, ss := range s.Shards {
+		st := nw.shs[i]
+		if len(ss.NICFree) != len(st.nicFree) {
+			return fmt.Errorf("madeleine: restore of %d-node state into %d-node network", len(ss.NICFree), len(st.nicFree))
+		}
+		copy(st.nicFree, ss.NICFree)
+		st.linkFree = make(map[linkKey]sim.Time, len(ss.LinkFree))
+		for _, lc := range ss.LinkFree {
+			st.linkFree[linkKey{lc.From, lc.To}] = lc.Free
+		}
+		st.linkStats = ss.LinkStats
+		st.msgs = ss.Msgs
+		st.bytes = ss.Bytes
+		st.envelopes = ss.Envelopes
+		if ss.Faults == nil {
+			continue
+		}
+		fs := st.faults
+		if fs == nil {
+			return fmt.Errorf("madeleine: restore of fault state into a network without faults enabled (shard %d)", i)
+		}
+		fs.policy = PartitionPolicy(ss.Faults.Policy)
+		if len(ss.Faults.Dead) != len(fs.dead) {
+			return fmt.Errorf("madeleine: restore fault state for %d nodes into %d-node network", len(ss.Faults.Dead), len(fs.dead))
+		}
+		copy(fs.dead, ss.Faults.Dead)
+		fs.stats = ss.Faults.Stats
+		fs.links = make(map[linkKey]*linkFault, len(ss.Faults.Links))
+		for _, lf := range ss.Faults.Links {
+			fs.links[linkKey{lf.From, lf.To}] = &linkFault{
+				partitioned: lf.Partitioned, dropRate: lf.DropRate, dupRate: lf.DupRate,
+			}
+		}
+		if err := fs.rng.BurnTo(ss.Faults.RNGDraws); err != nil {
+			return fmt.Errorf("madeleine: shard %d loss PRNG: %w", i, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,113 @@
+package protocols
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"dsmpm2/internal/core"
+)
+
+// Checkpoint support: the protocols whose per-node private state survives
+// across synchronization points implement core.ProtoStater here. The
+// stateless protocols (li_hudak, li_fixed, li_central, hybrid,
+// migrate_thread) keep everything in the shared page table and need no
+// capture of their own.
+
+// dirtySet serializes one []map[core.Page]bool as per-node sorted page
+// lists, the shape shared by every release-consistent protocol's write set.
+type dirtySet struct {
+	Dirty [][]uint64 `json:"dirty"`
+}
+
+func captureDirty(dirty []map[core.Page]bool) ([]byte, error) {
+	s := dirtySet{Dirty: make([][]uint64, len(dirty))}
+	for n, m := range dirty {
+		pages := make([]uint64, 0, len(m))
+		for pg := range m {
+			pages = append(pages, uint64(pg))
+		}
+		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+		s.Dirty[n] = pages
+	}
+	return json.Marshal(s)
+}
+
+func restoreDirty(dirty []map[core.Page]bool, data []byte) error {
+	var s dirtySet
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if len(s.Dirty) != len(dirty) {
+		return fmt.Errorf("protocols: dirty-set state for %d nodes, have %d", len(s.Dirty), len(dirty))
+	}
+	for n := range dirty {
+		dirty[n] = make(map[core.Page]bool, len(s.Dirty[n]))
+		for _, pg := range s.Dirty[n] {
+			dirty[n][core.Page(pg)] = true
+		}
+	}
+	return nil
+}
+
+// CaptureProtoState implements core.ProtoStater.
+func (p *hbrcMW) CaptureProtoState() ([]byte, error) { return captureDirty(p.dirty) }
+
+// RestoreProtoState implements core.ProtoStater.
+func (p *hbrcMW) RestoreProtoState(data []byte) error { return restoreDirty(p.dirty, data) }
+
+// CaptureProtoState implements core.ProtoStater.
+func (p *ercSW) CaptureProtoState() ([]byte, error) { return captureDirty(p.dirty) }
+
+// RestoreProtoState implements core.ProtoStater.
+func (p *ercSW) RestoreProtoState(data []byte) error { return restoreDirty(p.dirty, data) }
+
+// CaptureProtoState implements core.ProtoStater.
+func (p *entryMW) CaptureProtoState() ([]byte, error) { return captureDirty(p.dirty) }
+
+// RestoreProtoState implements core.ProtoStater.
+func (p *entryMW) RestoreProtoState(data []byte) error { return restoreDirty(p.dirty, data) }
+
+// CaptureProtoState implements core.ProtoStater.
+func (p *java) CaptureProtoState() ([]byte, error) { return captureDirty(p.dirty) }
+
+// RestoreProtoState implements core.ProtoStater.
+func (p *java) RestoreProtoState(data []byte) error { return restoreDirty(p.dirty, data) }
+
+// faultCounts serializes adaptive's per-node write-fault counters as sorted
+// (page, count) pairs.
+type faultCounts struct {
+	Counts [][][2]uint64 `json:"counts"`
+}
+
+// CaptureProtoState implements core.ProtoStater.
+func (p *adaptive) CaptureProtoState() ([]byte, error) {
+	s := faultCounts{Counts: make([][][2]uint64, len(p.writeFaults))}
+	for n, m := range p.writeFaults {
+		pairs := make([][2]uint64, 0, len(m))
+		for pg, c := range m {
+			pairs = append(pairs, [2]uint64{uint64(pg), uint64(c)})
+		}
+		sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+		s.Counts[n] = pairs
+	}
+	return json.Marshal(s)
+}
+
+// RestoreProtoState implements core.ProtoStater.
+func (p *adaptive) RestoreProtoState(data []byte) error {
+	var s faultCounts
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if len(s.Counts) != len(p.writeFaults) {
+		return fmt.Errorf("protocols: write-fault state for %d nodes, have %d", len(s.Counts), len(p.writeFaults))
+	}
+	for n := range p.writeFaults {
+		p.writeFaults[n] = make(map[core.Page]int, len(s.Counts[n]))
+		for _, pair := range s.Counts[n] {
+			p.writeFaults[n][core.Page(pair[0])] = int(pair[1])
+		}
+	}
+	return nil
+}

@@ -76,7 +76,9 @@ type Engine struct {
 	nlive   int    // procs spawned and not yet finished
 	nevents uint64 // events fired since creation
 
-	rng *rand.Rand
+	rng    *rand.Rand
+	rngSrc *countingSource // the source under rng, counting draws for Capture
+	seed   int64           // the seed rngSrc was created from
 
 	parked  map[*Proc]string // blocked procs -> reason, for deadlock reports
 	stopped bool
@@ -93,12 +95,15 @@ type Engine struct {
 // NewEngine creates an engine whose random source is seeded with seed, so
 // that identical seeds replay identical simulations.
 func NewEngine(seed int64) *Engine {
-	return &Engine{
+	e := &Engine{
 		park:   make(chan struct{}),
-		rng:    rand.New(rand.NewSource(seed)),
 		parked: make(map[*Proc]string),
 		times:  make(map[Time]*bucket),
+		seed:   seed,
+		rngSrc: newCountingSource(seed),
 	}
+	e.rng = rand.New(e.rngSrc)
+	return e
 }
 
 // Now returns the current virtual time.

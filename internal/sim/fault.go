@@ -158,7 +158,9 @@ func (p *FaultPlan) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// LoadFaultPlan reads a plan from a JSON file.
+// LoadFaultPlan reads a plan from a JSON file and validates it; malformed
+// plans (negative times, restarts of never-crashed nodes, out-of-range loss
+// rates) are rejected with a descriptive error instead of misbehaving later.
 func LoadFaultPlan(path string) (*FaultPlan, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -168,7 +170,77 @@ func LoadFaultPlan(path string) (*FaultPlan, error) {
 	if err := json.Unmarshal(data, &p); err != nil {
 		return nil, fmt.Errorf("sim: fault plan %s: %w", path, err)
 	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: fault plan %s: %w", path, err)
+	}
 	return &p, nil
+}
+
+// Save writes the plan to a JSON file in the symbolic wire form that
+// LoadFaultPlan reads back. The plan is validated first so a bad schedule
+// is caught at save time, not on the machine that loads it.
+func (p *FaultPlan) Save(path string) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Validate checks the plan for schedules that cannot mean anything sensible:
+// negative times or node ids, unknown kinds, loss rates outside [0,1],
+// self-links, restarting a node that is not crashed, or crashing a node
+// twice without a restart in between. Events are checked in canonical
+// injection order, so the crash/restart pairing reflects what would actually
+// be applied.
+func (p *FaultPlan) Validate() error {
+	crashed := make(map[int]bool)
+	for i, ev := range p.sorted() {
+		if ev.At < 0 {
+			return fmt.Errorf("sim: fault plan event %d (%s): negative time %d", i, ev.Kind, int64(ev.At))
+		}
+		switch ev.Kind {
+		case FaultNodeCrash:
+			if ev.Node < 0 {
+				return fmt.Errorf("sim: fault plan event %d: crash of negative node %d", i, ev.Node)
+			}
+			if crashed[ev.Node] {
+				return fmt.Errorf("sim: fault plan event %d: node %d crashed at t=%v while already crashed (missing restart)", i, ev.Node, ev.At)
+			}
+			crashed[ev.Node] = true
+		case FaultNodeRestart:
+			if ev.Node < 0 {
+				return fmt.Errorf("sim: fault plan event %d: restart of negative node %d", i, ev.Node)
+			}
+			if !crashed[ev.Node] {
+				return fmt.Errorf("sim: fault plan event %d: restart of node %d at t=%v before any crash", i, ev.Node, ev.At)
+			}
+			crashed[ev.Node] = false
+		case FaultLinkPartition, FaultLinkHeal:
+			if ev.From < 0 || ev.To < 0 {
+				return fmt.Errorf("sim: fault plan event %d (%s): negative link endpoint %d->%d", i, ev.Kind, ev.From, ev.To)
+			}
+			if ev.From == ev.To {
+				return fmt.Errorf("sim: fault plan event %d (%s): self-link %d->%d", i, ev.Kind, ev.From, ev.To)
+			}
+		case FaultLinkLoss:
+			if ev.From < 0 || ev.To < 0 {
+				return fmt.Errorf("sim: fault plan event %d (loss): negative link endpoint %d->%d", i, ev.From, ev.To)
+			}
+			if ev.DropRate < 0 || ev.DropRate > 1 {
+				return fmt.Errorf("sim: fault plan event %d: drop rate %v outside [0,1]", i, ev.DropRate)
+			}
+			if ev.DupRate < 0 || ev.DupRate > 1 {
+				return fmt.Errorf("sim: fault plan event %d: dup rate %v outside [0,1]", i, ev.DupRate)
+			}
+		default:
+			return fmt.Errorf("sim: fault plan event %d: unknown kind %d", i, int(ev.Kind))
+		}
+	}
+	return nil
 }
 
 // Crash appends a node-crash event and returns the plan for chaining.
