@@ -16,6 +16,7 @@
 //	dsmbench -exp faults       # crash/restart fault plans on restart-aware jacobi
 //	dsmbench -exp comm         # batched vs unbatched communication path
 //	dsmbench -exp adapt        # sharing-pattern profiler + dynamic home migration
+//	dsmbench -exp serve        # Zipf-serving KV store: per-op tail latency, static vs adaptive
 //
 // The comm experiment (excluded from "all", like kernel) runs jacobi,
 // matmul and lu at 16-64 nodes on both communication paths and reports the
@@ -31,6 +32,17 @@
 // traffic, and the per-epoch sharing-class histogram. With -json it writes
 // the committed BENCH_adapt.json snapshot. All numbers are virtual-time
 // exact and deterministic per seed.
+//
+// The serve experiment (excluded from "all", like kernel) drives the
+// kvstore app — an open-loop Zipf trace with hot-key churn over per-bucket
+// entry-consistency locks — twice from node-0-misplaced homes: once with
+// that placement frozen, once with the profiler's home migration on. It
+// reports per-operation latency digests (p50/p95/p99 from the core's
+// fixed-grid histograms, deterministic per seed), the hot-key tally, and
+// verifies both runs against the serial oracle plus a full replay of the
+// adaptive run for histogram bit-identity. It exits non-zero unless the
+// adaptive p99 beats the static one. With -json it writes the committed
+// BENCH_serve.json snapshot.
 //
 // The faults experiment (excluded from "all", like kernel) runs the
 // restart-aware jacobi kernel under a declarative fault plan and reports,
@@ -85,29 +97,70 @@ import (
 // profile writers (log.Fatalf would os.Exit past pprof.StopCPUProfile and
 // leave a truncated CPU profile).
 func main() {
-	os.Exit(realMain())
+	os.Exit(realMain(os.Args[1:]))
 }
 
-func realMain() (code int) {
-	exp := flag.String("exp", "all", "experiment: all,rpc,migration,table3,table4,fig4,fig5,protocols,multicluster,contention, or kernel/faults/comm/adapt/ckpt/bisect (explicit opt-in, excluded from all)")
-	cities := flag.Int("cities", 11, "TSP cities for fig4 (paper: 14)")
-	topology := flag.String("topology", "hier", "multicluster topology: hier")
-	nodes := flag.Int("nodes", 8, "cluster size for multicluster")
-	clusters := flag.Int("clusters", 2, "cluster count for -topology hier")
-	intra := flag.String("intra", "SISCI/SCI", "intra-cluster profile for -topology hier")
-	inter := flag.String("inter", "TCP/Fast Ethernet", "inter-cluster profile for -topology hier")
-	readers := flag.Int("readers", 8, "concurrent transfers for the contention experiment")
-	jsonOut := flag.Bool("json", false, "write BENCH_kernel.json (kernel) / print JSON results (faults)")
-	faultPlanPath := flag.String("faultplan", "", "JSON fault plan file for the faults experiment")
-	mtbf := flag.Float64("mtbf", 0, "generate a fault plan: mean time between failures per node (virtual ms)")
-	repair := flag.Float64("repair", 3, "generated plans: node repair time (virtual ms)")
-	faultSeed := flag.Int64("faultseed", 11, "seed for generated fault plans and message-loss draws")
-	faultProtos := flag.String("faultproto", "hbrc_mw,entry_mw", "comma-separated protocols for the faults experiment")
-	shards := flag.Int("shards", 0, "kernel experiment: max shard count for the host-scaling matrix (0 = host CPUs, floored at 2)")
-	perturb := flag.Int("perturb", 3, "bisect experiment: session step at which the deliberate divergence is injected")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file")
-	flag.Parse()
+// experiments is the valid -exp set; usage errors name it verbatim.
+var experiments = []string{
+	"all", "protocols", "rpc", "migration", "table3", "table4",
+	"fig4", "fig4detail", "fig5", "multicluster", "contention",
+	"kernel", "faults", "comm", "adapt", "serve", "ckpt", "bisect",
+}
+
+// validateArgs rejects an unknown experiment or out-of-range knobs before
+// anything runs, so a typo exits 2 with usage instead of silently running
+// zero experiments or panicking mid-suite.
+func validateArgs(exp string, shards, perturb, readers int) error {
+	known := false
+	for _, e := range experiments {
+		if e == exp {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return fmt.Errorf("unknown experiment %q (valid: %s)", exp, strings.Join(experiments, ", "))
+	}
+	if shards < 0 {
+		return fmt.Errorf("-shards %d out of range (want >= 0; 0 selects the host CPU count)", shards)
+	}
+	if perturb < 1 {
+		return fmt.Errorf("-perturb %d out of range (want >= 1: a session step index)", perturb)
+	}
+	if readers < 1 {
+		return fmt.Errorf("-readers %d out of range (want >= 1 concurrent transfers)", readers)
+	}
+	return nil
+}
+
+func realMain(args []string) (code int) {
+	fs := flag.NewFlagSet("dsmbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment: all,rpc,migration,table3,table4,fig4,fig5,protocols,multicluster,contention, or kernel/faults/comm/adapt/serve/ckpt/bisect (explicit opt-in, excluded from all)")
+	cities := fs.Int("cities", 11, "TSP cities for fig4 (paper: 14)")
+	topology := fs.String("topology", "hier", "multicluster topology: hier")
+	nodes := fs.Int("nodes", 8, "cluster size for multicluster")
+	clusters := fs.Int("clusters", 2, "cluster count for -topology hier")
+	intra := fs.String("intra", "SISCI/SCI", "intra-cluster profile for -topology hier")
+	inter := fs.String("inter", "TCP/Fast Ethernet", "inter-cluster profile for -topology hier")
+	readers := fs.Int("readers", 8, "concurrent transfers for the contention experiment")
+	jsonOut := fs.Bool("json", false, "write BENCH_kernel.json (kernel) / print JSON results (faults)")
+	faultPlanPath := fs.String("faultplan", "", "JSON fault plan file for the faults experiment")
+	mtbf := fs.Float64("mtbf", 0, "generate a fault plan: mean time between failures per node (virtual ms)")
+	repair := fs.Float64("repair", 3, "generated plans: node repair time (virtual ms)")
+	faultSeed := fs.Int64("faultseed", 11, "seed for generated fault plans and message-loss draws")
+	faultProtos := fs.String("faultproto", "hbrc_mw,entry_mw", "comma-separated protocols for the faults experiment")
+	shards := fs.Int("shards", 0, "kernel experiment: max shard count for the host-scaling matrix (0 = host CPUs, floored at 2)")
+	perturb := fs.Int("perturb", 3, "bisect experiment: session step at which the deliberate divergence is injected")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := validateArgs(*exp, *shards, *perturb, *readers); err != nil {
+		fmt.Fprintf(os.Stderr, "dsmbench: %v\n", err)
+		fs.Usage()
+		return 2
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -143,56 +196,43 @@ func realMain() (code int) {
 	}()
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
-	any := false
 	if run("protocols") {
-		any = true
 		protocolsTable()
 	}
 	if run("rpc") {
-		any = true
 		rpcTable()
 	}
 	if run("migration") {
-		any = true
 		migrationTable()
 	}
 	if run("table3") {
-		any = true
 		table3()
 	}
 	if run("table4") {
-		any = true
 		table4()
 	}
 	if run("fig4") {
-		any = true
 		figure4(*cities)
 	}
 	if run("fig4detail") {
-		any = true
 		figure4Detail(*cities)
 	}
 	if run("fig5") {
-		any = true
 		figure5()
 	}
 	if run("multicluster") {
-		any = true
 		multicluster(*topology, *nodes, *clusters, *intra, *inter)
 	}
 	if run("contention") {
-		any = true
 		contention(*readers)
 	}
 	if *exp == "kernel" { // wall-clock heavy: explicit opt-in, not part of "all"
-		any = true
 		if err := kernel(*jsonOut, *shards); err != nil {
 			log.Printf("kernel: %v", err)
 			return 1
 		}
 	}
 	if *exp == "faults" { // explicit opt-in, not part of "all"
-		any = true
 		if err := faults(*faultPlanPath, *mtbf, *repair, *faultSeed,
 			*faultProtos, *nodes, *clusters, *intra, *inter, *jsonOut); err != nil {
 			log.Printf("faults: %v", err)
@@ -200,36 +240,34 @@ func realMain() (code int) {
 		}
 	}
 	if *exp == "comm" { // explicit opt-in, not part of "all"
-		any = true
 		if err := comm(*jsonOut); err != nil {
 			log.Printf("comm: %v", err)
 			return 1
 		}
 	}
 	if *exp == "adapt" { // explicit opt-in, not part of "all"
-		any = true
 		if err := adapt(*jsonOut); err != nil {
 			log.Printf("adapt: %v", err)
 			return 1
 		}
 	}
+	if *exp == "serve" { // explicit opt-in, not part of "all"
+		if err := serve(*jsonOut); err != nil {
+			log.Printf("serve: %v", err)
+			return 1
+		}
+	}
 	if *exp == "ckpt" { // explicit opt-in, not part of "all"
-		any = true
 		if err := ckpt(*jsonOut); err != nil {
 			log.Printf("ckpt: %v", err)
 			return 1
 		}
 	}
 	if *exp == "bisect" { // explicit opt-in, not part of "all"
-		any = true
 		if err := bisect(*perturb); err != nil {
 			log.Printf("bisect: %v", err)
 			return 1
 		}
-	}
-	if !any {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
-		return 2
 	}
 	return 0
 }
@@ -652,6 +690,78 @@ func adapt(writeJSON bool) error {
 		return fmt.Errorf("-json: %w", err)
 	}
 	fmt.Printf("wrote %s\n", benchAdaptFile)
+	return nil
+}
+
+// benchServeFile is the tail-latency snapshot the serve experiment writes
+// with -json.
+const benchServeFile = "BENCH_serve.json"
+
+// serveSnapshot is the BENCH_serve.json document.
+type serveSnapshot struct {
+	Experiment string `json:"experiment"`
+	// Host is the machine this snapshot was taken on.
+	Host   bench.HostMeta    `json:"host"`
+	Static bench.ServeResult `json:"static"`
+	// Adaptive serves the identical trace with home migration on.
+	Adaptive bench.ServeResult `json:"adaptive"`
+	// ReplayIdentical reports whether a full replay of the adaptive run
+	// reproduced every latency histogram bit-identically.
+	ReplayIdentical bool `json:"replay_identical"`
+}
+
+// serve runs the Zipf-serving KV store under static and adaptive placement
+// and reports the per-operation tail latencies. It fails unless the
+// adaptive p99 beats the static one and the replay check holds.
+func serve(writeJSON bool) error {
+	header("Serve: Zipf KV store tail latency, static (misplaced) vs adaptive homes")
+	static, adaptive, replayOK, err := bench.ServeSuite()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload: %d requests over %d keys in %d buckets on %d nodes, %s\n",
+		static.Requests, static.Keys, static.Buckets, static.Nodes, static.Protocol)
+	fmt.Printf("%-10s %-6s %8s %12s %12s %12s %12s %12s\n",
+		"placement", "op", "count", "p50(us)", "p95(us)", "p99(us)", "mean(us)", "max(us)")
+	us := func(d dsmpm2.Duration) float64 { return float64(d) / 1e3 }
+	for _, r := range []bench.ServeResult{static, adaptive} {
+		for _, o := range r.Ops {
+			fmt.Printf("%-10s %-6s %8d %12.1f %12.1f %12.1f %12.1f %12.1f\n",
+				r.Placement, o.Kind, o.Count, us(o.P50), us(o.P95), us(o.P99), us(o.Mean), us(o.Max))
+		}
+	}
+	fmt.Printf("home migrations: static %d, adaptive %d; remote fetches %d -> %d\n",
+		static.HomeMigrations, adaptive.HomeMigrations, static.RemoteFetches, adaptive.RemoteFetches)
+	fmt.Printf("hot keys (by request count): %v\n", adaptive.HotKeys)
+	sp99, ap99 := bench.ServeP99(static), bench.ServeP99(adaptive)
+	fmt.Printf("get p99 under hot-key churn: static %.1fus -> adaptive %.1fus (%.2fx)\n",
+		us(sp99), us(ap99), float64(sp99)/float64(ap99))
+	fmt.Printf("replay histograms bit-identical: %v\n", replayOK)
+	fmt.Println("(open-loop trace: arrivals never wait for completions, so a slow placement")
+	fmt.Println(" surfaces as queueing delay in the tail. Quantiles are fixed-grid values from")
+	fmt.Println(" the core histograms — virtual-time exact and deterministic per seed)")
+	if ap99 >= sp99 {
+		return fmt.Errorf("adaptive get p99 %v did not beat static %v", ap99, sp99)
+	}
+	if !replayOK {
+		return fmt.Errorf("replayed adaptive run diverged from the first (histograms not bit-identical)")
+	}
+	if !writeJSON {
+		return nil
+	}
+	snap := serveSnapshot{Experiment: "serve", Host: bench.Host(),
+		Static: static, Adaptive: adaptive, ReplayIdentical: replayOK}
+	f, err := os.Create(benchServeFile)
+	if err != nil {
+		return fmt.Errorf("-json: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&snap); err != nil {
+		return fmt.Errorf("-json: %w", err)
+	}
+	fmt.Printf("wrote %s\n", benchServeFile)
 	return nil
 }
 

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCLIRejectsBadArgs pins the command's error edges: an unknown -exp or
+// an out-of-range knob must exit 2 before any experiment runs, and the
+// message must name what is valid.
+func TestCLIRejectsBadArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown experiment", []string{"-exp", "bogus"}},
+		{"empty experiment", []string{"-exp", ""}},
+		{"misspelled serve", []string{"-exp", "server"}},
+		{"negative shards", []string{"-exp", "kernel", "-shards", "-1"}},
+		{"zero perturb", []string{"-exp", "bisect", "-perturb", "0"}},
+		{"negative perturb", []string{"-exp", "bisect", "-perturb", "-2"}},
+		{"zero readers", []string{"-exp", "contention", "-readers", "0"}},
+		{"unparseable flag", []string{"-exp"}},
+		{"unknown flag", []string{"-frobnicate"}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			if code := realMain(c.args); code != 2 {
+				t.Errorf("realMain(%v) = %d, want usage exit 2", c.args, code)
+			}
+		})
+	}
+}
+
+// TestValidateArgsMessages: the usage errors must name the valid experiment
+// set and the offending value, so a typo is self-correcting.
+func TestValidateArgsMessages(t *testing.T) {
+	err := validateArgs("bogus", 0, 3, 8)
+	if err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	for _, want := range []string{"bogus", "serve", "adapt", "kernel", "all"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("unknown-exp error %q does not mention %q", err, want)
+		}
+	}
+	if err := validateArgs("kernel", -3, 3, 8); err == nil || !strings.Contains(err.Error(), "-shards -3") {
+		t.Errorf("shards range error = %v, want it to name -shards -3", err)
+	}
+	if err := validateArgs("bisect", 0, 0, 8); err == nil || !strings.Contains(err.Error(), "-perturb 0") {
+		t.Errorf("perturb range error = %v, want it to name -perturb 0", err)
+	}
+	if err := validateArgs("contention", 0, 3, -1); err == nil || !strings.Contains(err.Error(), "-readers -1") {
+		t.Errorf("readers range error = %v, want it to name -readers -1", err)
+	}
+	for _, exp := range experiments {
+		if err := validateArgs(exp, 0, 3, 8); err != nil {
+			t.Errorf("valid experiment %q rejected: %v", exp, err)
+		}
+	}
+}
+
+// TestCLIAcceptsProtocolsTable: the cheapest real experiment still runs and
+// exits 0 through the refactored entry point.
+func TestCLIAcceptsProtocolsTable(t *testing.T) {
+	if code := realMain([]string{"-exp", "protocols"}); code != 0 {
+		t.Fatalf("realMain(-exp protocols) = %d, want 0", code)
+	}
+}

@@ -45,6 +45,18 @@
 // runs the static-vs-adaptive placement experiment and writes
 // BENCH_adapt.json. See DESIGN.md ("Access profiling & home migration").
 //
+// Serving-class workloads get per-operation latency accounting:
+// System.OpHist(kind) registers a fixed-grid histogram over virtual-time
+// durations (HDR-style log-spaced buckets, allocation-free Record,
+// bucket-wise Merge across nodes), whose quantiles are upper bounds on a
+// fixed seed-independent grid — deterministic, snapshot-safe, and
+// bit-identical across replays. The internal kvstore app (a hash table
+// sharded one-bucket-per-page under per-bucket entry_mw locks, driven by an
+// open-loop Zipf trace with hot-key churn) exercises them end to end;
+// `dsmbench -exp serve [-json]` runs its static-vs-adaptive placement
+// experiment, asserts the adaptive p99 wins, and writes BENCH_serve.json.
+// See DESIGN.md ("Serving workloads") and examples/kvstore.
+//
 // The platform also injects failures: a FaultPlan is a declarative,
 // seed-driven schedule of node crashes/restarts, link partitions/heals and
 // message loss, applied through System.InjectFaults. The network drops or

@@ -27,6 +27,9 @@ type (
 	Stats = core.Stats
 	// FaultTiming decomposes a fault like the paper's Tables 3 and 4.
 	FaultTiming = core.FaultTiming
+	// Histogram is a fixed-grid per-operation latency histogram with
+	// deterministic quantiles (see System.OpHist).
+	Histogram = core.Histogram
 	// NetworkProfile is a calibrated interconnect cost model.
 	NetworkProfile = madeleine.Profile
 	// Topology resolves per-(src,dst) link cost profiles; see
@@ -326,6 +329,16 @@ func (s *System) Stats() Stats { return s.dsm.Stats() }
 
 // Timings exposes the recorded fault timings (Tables 3/4 style records).
 func (s *System) Timings() *core.TimingLog { return s.dsm.Timings() }
+
+// OpHist returns the per-operation latency histogram registered under kind
+// ("get", "put", ...), creating it on first use. Applications record each
+// operation's virtual-time latency on the completion path; the histogram's
+// fixed log-spaced buckets make p50/p95/p99 deterministic, snapshot-safe and
+// bit-identical across replays of one seed.
+func (s *System) OpHist(kind string) *Histogram { return s.dsm.OpHist(kind) }
+
+// OpKinds lists the registered operation-histogram kinds in sorted order.
+func (s *System) OpKinds() []string { return s.dsm.OpKinds() }
 
 // EnableProfiler switches on the access-pattern profiler with an explicit
 // configuration (Config.AdaptiveHomes is the common shorthand for

@@ -126,6 +126,10 @@ type DSM struct {
 	stats      Stats
 	nodeFaults []int64
 	timings    TimingLog
+
+	// opHists holds the per-operation latency histograms (see histogram.go),
+	// keyed by op kind, created lazily by OpHist.
+	opHists map[string]*Histogram
 }
 
 // pageInfo is the allocation-time metadata for a shared page, known on every

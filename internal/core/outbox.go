@@ -105,6 +105,13 @@ func (b *Batch) Empty() bool { return len(b.dests) == 0 }
 // Queued order is deliberately forgotten — determinism must not depend on
 // it, even for the odd caller that queues two diffs of one page to one
 // destination (SendDiffsBatched iterates a map).
+//
+// Invalidations are also deduplicated per page (the last entry in canonical
+// order — the highest owner hint — wins). One destination needs one
+// invalidation of a page per flush no matter how many times it was queued;
+// the unbatched path has always collapsed duplicates through its
+// per-(node, page) ack bookkeeping, and deduplicating here keeps the two
+// paths' Invalidations/InvAcks accounting identical.
 func (db *destBatch) canonicalize() {
 	sort.SliceStable(db.invs, func(i, j int) bool {
 		if db.invs[i].page != db.invs[j].page {
@@ -112,6 +119,14 @@ func (db *destBatch) canonicalize() {
 		}
 		return db.invs[i].newOwner < db.invs[j].newOwner
 	})
+	dedup := db.invs[:0]
+	for i, iv := range db.invs {
+		if i+1 < len(db.invs) && db.invs[i+1].page == iv.page {
+			continue
+		}
+		dedup = append(dedup, iv)
+	}
+	db.invs = dedup
 	// Sort the diffs and their noticed flags together.
 	idx := make([]int, len(db.diffs))
 	for i := range idx {

@@ -171,6 +171,39 @@ func TestBatchFlushCoalescesEnvelopes(t *testing.T) {
 	}
 }
 
+// TestBatchFlushDedupsInvalidations pins the duplicate-invalidation rule on
+// BOTH communication paths: queueing the same page for the same destination
+// several times ships (and acknowledges) it exactly once per flush. The
+// unbatched path has always collapsed duplicates through its per-(node, page)
+// ack bookkeeping; canonicalize dedups for the batched path too, so the
+// Invalidations/InvAcks accounting is identical across paths.
+func TestBatchFlushDedupsInvalidations(t *testing.T) {
+	const nodes = 3
+	for _, batched := range []bool{true, false} {
+		d, rt, trace := outboxHarness(nodes, batched)
+		base := d.MustMalloc(0, 2*PageSize, nil)
+		first := d.Space(0).PageOf(base)
+		rt.CreateThread(0, "flusher", func(th *pm2.Thread) {
+			b := d.NewBatch(th)
+			b.Invalidate(1, first, -1)
+			b.Invalidate(1, first, -1) // exact duplicate
+			b.Invalidate(1, first, 2)  // same page, different owner hint: last hint wins
+			b.Invalidate(1, first+1, -1)
+			b.Invalidate(2, first, -1) // other destination: independent
+			b.Flush(true)
+		})
+		if err := rt.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if len(*trace) != 3 {
+			t.Fatalf("batched=%v: %d invalidations ran, want 3 (deduped)", batched, len(*trace))
+		}
+		if st := d.Stats(); st.Invalidations != 3 || st.InvAcks != 3 {
+			t.Fatalf("batched=%v: Invalidations=%d InvAcks=%d, want 3/3", batched, st.Invalidations, st.InvAcks)
+		}
+	}
+}
+
 // TestInvalidateCopiesBatched pins the single-page convenience wrapper's
 // contract on both paths: every copyset holder except self and the new
 // owner is invalidated (blocking until acknowledged), and the batched path

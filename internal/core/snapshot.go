@@ -181,6 +181,7 @@ type CoreState struct {
 	Stats      Stats            `json:"stats"`
 	NodeFaults []int64          `json:"node_faults"`
 	Timings    []FaultTiming    `json:"timings,omitempty"`
+	OpHists    []HistogramState `json:"op_hists,omitempty"`
 	Recovery   *RecoverySnap    `json:"recovery,omitempty"`
 	Profiler   *ProfilerSnap    `json:"profiler,omitempty"`
 }
@@ -276,6 +277,9 @@ func (d *DSM) CaptureState() (*CoreState, error) {
 	}
 	for _, ft := range d.timings.All() {
 		s.Timings = append(s.Timings, *ft)
+	}
+	for _, kind := range d.OpKinds() {
+		s.OpHists = append(s.OpHists, d.opHists[kind].capture(kind))
 	}
 	if rec := d.recovery; rec != nil {
 		rs := &RecoverySnap{
@@ -494,6 +498,12 @@ func (d *DSM) RestoreState(s *CoreState) error {
 	for i := range s.Timings {
 		ft := s.Timings[i]
 		d.timings.Add(&ft)
+	}
+	d.opHists = nil
+	for _, hs := range s.OpHists {
+		if err := d.OpHist(hs.Kind).restore(hs); err != nil {
+			return err
+		}
 	}
 	if s.Recovery != nil {
 		var onRestart func(int)

@@ -444,6 +444,71 @@ func TestConformanceAdaptive(t *testing.T) {
 	}
 }
 
+// TestConformanceCounterParity pins Stats parity between the batched and
+// unbatched communication paths: the same scenario under the same protocol
+// must report identical fetch-side counters (RemoteFetches,
+// MisplacedFetches — they count faults, which batching must not add or
+// hide), and consistent invalidation-side accounting. Write notices exist
+// only on the batched path (a notice replaces eager invalidations that the
+// unbatched run must still perform), so for protocols that use them the
+// invariant is a transfer, not an equality: unbatched InvAcks is bounded
+// below by batched InvAcks and above by batched InvAcks + Notices. Every
+// path must also keep InvAcks == Invalidations in a fault-free run — each
+// invalidation shipped is acknowledged exactly once.
+func TestConformanceCounterParity(t *testing.T) {
+	scenarios := []scenario{
+		{"jacobi", jacobiOracle, jacobiRun},
+		{"jacobi-misplaced", jacobiOracle, jacobiRunMisplaced},
+		{"mapcolor", mapcolorOracle, mapcolorRun},
+		{"hotspot", hotspotOracle, hotspotRun},
+		{"prodcons", prodconsOracle, prodconsRun},
+	}
+	reg, _ := NewRegistry()
+	protocols := reg.Names()
+	if testing.Short() {
+		protocols = []string{"hbrc_mw", "erc_sw", "adaptive"}
+	}
+	topo := func() madeleine.Topology { return madeleine.NewUniform(madeleine.BIPMyrinet) }
+	for _, proto := range protocols {
+		for _, sc := range scenarios {
+			proto, sc := proto, sc
+			t.Run(fmt.Sprintf("%s/%s", proto, sc.name), func(t *testing.T) {
+				var st [2]core.Stats
+				for i, batched := range []bool{true, false} {
+					rt, d := conformanceHarness(t, topo(), proto, batched)
+					d.EnableProfiler(core.ProfilerConfig{}) // arm MisplacedFetches tracking
+					sc.run(t, rt, d)
+					st[i] = d.Stats()
+				}
+				b, u := st[0], st[1]
+				if b.RemoteFetches != u.RemoteFetches {
+					t.Errorf("RemoteFetches: batched %d, unbatched %d", b.RemoteFetches, u.RemoteFetches)
+				}
+				if b.MisplacedFetches != u.MisplacedFetches {
+					t.Errorf("MisplacedFetches: batched %d, unbatched %d", b.MisplacedFetches, u.MisplacedFetches)
+				}
+				if u.Notices != 0 {
+					t.Errorf("unbatched run queued %d write notices; notices require batching", u.Notices)
+				}
+				if b.InvAcks != b.Invalidations {
+					t.Errorf("batched InvAcks %d != Invalidations %d", b.InvAcks, b.Invalidations)
+				}
+				if u.InvAcks != u.Invalidations {
+					t.Errorf("unbatched InvAcks %d != Invalidations %d", u.InvAcks, u.Invalidations)
+				}
+				if b.Notices == 0 {
+					if b.InvAcks != u.InvAcks {
+						t.Errorf("InvAcks: batched %d, unbatched %d (no notices in play)", b.InvAcks, u.InvAcks)
+					}
+				} else if u.InvAcks < b.InvAcks || u.InvAcks > b.InvAcks+b.Notices {
+					t.Errorf("InvAcks transfer violated: unbatched %d outside [batched %d, batched+notices %d]",
+						u.InvAcks, b.InvAcks, b.InvAcks+b.Notices)
+				}
+			})
+		}
+	}
+}
+
 // TestConformance sweeps scenarios × protocols × topologies × communication
 // paths (batched and unbatched). In -short mode only the uniform topology
 // runs (the CI race job uses this subset); both comm paths stay covered

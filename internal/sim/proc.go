@@ -13,6 +13,12 @@ type Proc struct {
 	dead   bool
 	daemon bool
 
+	// timedGen retires timed-wait deadline records: each armed deadline
+	// captures the current value, and the wait bumps it on completion, so a
+	// record still sitting in the calendar after its wait has ended is inert
+	// when it fires (it can never unpark the proc from a later wait).
+	timedGen uint64
+
 	// Local is a free slot for the runtime layered above (PM2 stores the
 	// owning thread descriptor here).
 	Local interface{}

@@ -109,14 +109,19 @@ func (c *Cond) Broadcast() {
 
 // WaitTimeout is Wait with a deadline: it re-acquires the lock and returns
 // true if the proc was signalled within d, false if the wait timed out.
-// Like Wait, callers must re-check their predicate in a loop — and, because
-// a stale timer from an earlier wait can cause a spurious wake, callers
-// using WaitTimeout repeatedly on one condition must tolerate early returns
-// that report a timeout which did not consume a signal.
+// Like Wait, callers must re-check their predicate in a loop. A deadline
+// record left in the calendar after an early signal is retired via the
+// proc's timed-wait generation: when it eventually fires it is inert, so
+// repeated timed waits on one condition never see spurious wakes from
+// earlier waits.
 func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
 	timedOut := false
+	gen := p.timedGen
 	c.waiters.push(p)
 	p.eng.After(d, func() {
+		if p.timedGen != gen {
+			return // wait already completed; stale record is inert
+		}
 		if c.waiters.removeFunc(func(w *Proc) bool { return w == p }) {
 			timedOut = true
 			if !p.dead {
@@ -126,6 +131,10 @@ func (c *Cond) WaitTimeout(p *Proc, d Duration) bool {
 	})
 	c.L.Unlock(p)
 	p.Park("cond wait (timed)")
+	// Retire the deadline before re-acquiring the lock: Lock may park the
+	// proc on the mutex, and the still-pending record must not fire into
+	// that (or any later) park.
+	p.timedGen++
 	c.L.Lock(p)
 	return !timedOut
 }
@@ -265,17 +274,22 @@ func (c *Chan) Recv(p *Proc) interface{} {
 }
 
 // RecvTimeout is Recv with a deadline: it returns (message, true) when one
-// arrives within d of virtual time, or (nil, false) on timeout. It is meant
-// for private single-receiver channels (RPC replies, invalidation acks); with
-// several receivers on one channel a stale timer can surface as a spurious
-// timeout, which callers must treat as a hint to re-check and retry.
+// arrives within d of virtual time, or (nil, false) on timeout. The deadline
+// record is retired (made inert) when the call returns, so a message arriving
+// just before the deadline cannot leave behind a timer that later fires into
+// a subsequent wait by the same proc. Safe for repeated per-request deadlines
+// on shared channels.
 func (c *Chan) RecvTimeout(p *Proc, d Duration) (interface{}, bool) {
 	if c.q.len() > 0 {
 		return c.q.pop(), true
 	}
 	timedOut := false
+	gen := p.timedGen
 	c.waiters.push(p)
 	p.eng.After(d, func() {
+		if p.timedGen != gen {
+			return // receive already completed; stale record is inert
+		}
 		if c.waiters.removeFunc(func(w *Proc) bool { return w == p }) {
 			timedOut = true
 			if !p.dead {
@@ -286,13 +300,16 @@ func (c *Chan) RecvTimeout(p *Proc, d Duration) (interface{}, bool) {
 	p.Park("chan recv (timed)")
 	for c.q.len() == 0 {
 		if timedOut {
+			p.timedGen++
 			return nil, false
 		}
 		// Woken by a Push whose message another receiver consumed: wait
-		// again; the armed timer is still pending and bounds the wait.
+		// again; the armed timer is still pending and bounds the wait
+		// (gen is unchanged across these re-parks, so it stays live).
 		c.waiters.push(p)
 		p.Park("chan recv (timed)")
 	}
+	p.timedGen++
 	return c.q.pop(), true
 }
 
