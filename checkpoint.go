@@ -60,6 +60,7 @@ type ConfigState struct {
 	UnbatchedComm  bool           `json:"unbatched_comm,omitempty"`
 	Protocol       string         `json:"protocol"`
 	Seed           int64          `json:"seed"`
+	Shards         int            `json:"shards,omitempty"`
 }
 
 // CursorState is the fault-plan cursor's resumable position.
@@ -73,15 +74,19 @@ type CursorState struct {
 // System.Checkpoint, persist with Save/Encode, rebuild a System with
 // Restore.
 type Checkpoint struct {
-	Config      ConfigState         `json:"config"`
-	Kernel      sim.Snapshot        `json:"kernel"`
-	Core        *core.CoreState     `json:"core"`
-	Net         *madeleine.NetState `json:"net"`
-	Runtime     *pm2.RuntimeState   `json:"runtime"`
-	Cursor      *CursorState        `json:"cursor,omitempty"`
-	Partition   int                 `json:"partition,omitempty"`
-	App         json.RawMessage     `json:"app,omitempty"`
-	Fingerprint string              `json:"fingerprint"`
+	Config ConfigState  `json:"config"`
+	Kernel sim.Snapshot `json:"kernel"`
+	// KernelShards holds one kernel snapshot per shard on a sharded machine
+	// (Kernel then mirrors shard 0's, for single-snapshot readers). Absent —
+	// and the wire form unchanged — for single-loop systems.
+	KernelShards []sim.Snapshot      `json:"kernel_shards,omitempty"`
+	Core         *core.CoreState     `json:"core"`
+	Net          *madeleine.NetState `json:"net"`
+	Runtime      *pm2.RuntimeState   `json:"runtime"`
+	Cursor       *CursorState        `json:"cursor,omitempty"`
+	Partition    int                 `json:"partition,omitempty"`
+	App          json.RawMessage     `json:"app,omitempty"`
+	Fingerprint  string              `json:"fingerprint"`
 }
 
 // Fingerprint hashes the system's observable trace — final clock, every
@@ -113,6 +118,7 @@ func (s *System) configState() (ConfigState, error) {
 		UnbatchedComm:  s.cfg.UnbatchedComm,
 		Protocol:       s.cfg.Protocol,
 		Seed:           s.cfg.Seed,
+		Shards:         s.cfg.Shards,
 	}
 	profName := func(p *NetworkProfile) (string, error) {
 		if p == nil {
@@ -165,6 +171,7 @@ func (cs ConfigState) toConfig() (Config, error) {
 		UnbatchedComm:  cs.UnbatchedComm,
 		Protocol:       cs.Protocol,
 		Seed:           cs.Seed,
+		Shards:         cs.Shards,
 	}
 	resolve := func(name string) (*NetworkProfile, error) {
 		p := madeleine.ByName(name)
@@ -216,9 +223,19 @@ func (s *System) Checkpoint(app []byte) (*Checkpoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	kernel, err := s.rt.Engine().Capture()
-	if err != nil {
-		return nil, err
+	var kernel sim.Snapshot
+	var kernelShards []sim.Snapshot
+	if s.rt.Sharded() {
+		kernelShards, err = s.rt.ShardedEngine().Capture()
+		if err != nil {
+			return nil, err
+		}
+		kernel = kernelShards[0]
+	} else {
+		kernel, err = s.rt.Engine().Capture()
+		if err != nil {
+			return nil, err
+		}
 	}
 	coreState, err := s.dsm.CaptureState()
 	if err != nil {
@@ -229,13 +246,14 @@ func (s *System) Checkpoint(app []byte) (*Checkpoint, error) {
 		return nil, err
 	}
 	ck := &Checkpoint{
-		Config:      cfgState,
-		Kernel:      kernel,
-		Core:        coreState,
-		Net:         netState,
-		Runtime:     s.rt.CaptureState(),
-		App:         append([]byte(nil), app...),
-		Fingerprint: s.Fingerprint(),
+		Config:       cfgState,
+		KernelShards: kernelShards,
+		Kernel:       kernel,
+		Core:         coreState,
+		Net:          netState,
+		Runtime:      s.rt.CaptureState(),
+		App:          append([]byte(nil), app...),
+		Fingerprint:  s.Fingerprint(),
 	}
 	if s.cursor != nil {
 		next, base := s.cursor.Pos()
@@ -318,7 +336,16 @@ func Restore(ck *Checkpoint, opts RestoreOptions) (*System, error) {
 	if err := s.rt.RestoreState(ck.Runtime); err != nil {
 		return nil, err
 	}
-	if err := s.rt.Engine().Restore(ck.Kernel); err != nil {
+	if len(ck.KernelShards) > 0 {
+		if !s.rt.Sharded() {
+			return nil, fmt.Errorf("dsmpm2: checkpoint holds %d kernel shard(s) but the rebuilt system is single-loop (config shards=%d)", len(ck.KernelShards), ck.Config.Shards)
+		}
+		if err := s.rt.ShardedEngine().Restore(ck.KernelShards); err != nil {
+			return nil, err
+		}
+	} else if s.rt.Sharded() {
+		return nil, fmt.Errorf("dsmpm2: sharded system restored from a checkpoint with no per-shard kernels")
+	} else if err := s.rt.Engine().Restore(ck.Kernel); err != nil {
 		return nil, err
 	}
 	if ck.Cursor != nil {

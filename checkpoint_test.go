@@ -93,6 +93,56 @@ func TestCheckpointRoundTripSweep(t *testing.T) {
 	}
 }
 
+// TestCheckpointRoundTripSharded is the sweep on a sharded machine: capture
+// must snapshot every shard's kernel (clock, RNG position, cross-shard send
+// stamp), restore must rebuild an identically sharded system, and the
+// continued run must replay the sharded schedule — combining-tree barriers
+// and all — bit for bit, at every step boundary.
+func TestCheckpointRoundTripSharded(t *testing.T) {
+	cfg := sessionConfig()
+	cfg.Nodes = 8
+	cfg.Shards = 2
+	ref := runSession(t, cfg, 0)
+	refFP, refSum := finishFingerprint(t, ref)
+	if want := jacobi.SolveSerial(cfg.N, cfg.Iterations); refSum != want {
+		t.Fatalf("reference checksum %v, serial %v", refSum, want)
+	}
+
+	steps := ref.Steps()
+	for k := 0; k <= steps; k++ {
+		s := runSession(t, cfg, k)
+		ck, err := s.Checkpoint()
+		if err != nil {
+			t.Fatalf("k=%d: checkpoint: %v", k, err)
+		}
+		if got := len(ck.KernelShards); got != 2 {
+			t.Fatalf("k=%d: checkpoint holds %d kernel shards, want 2", k, got)
+		}
+		if ck.Config.Shards != 2 {
+			t.Fatalf("k=%d: checkpoint config shards %d, want 2", k, ck.Config.Shards)
+		}
+		data, err := ck.Encode()
+		if err != nil {
+			t.Fatalf("k=%d: encode: %v", k, err)
+		}
+		ck2, err := dsmpm2.DecodeCheckpoint(data)
+		if err != nil {
+			t.Fatalf("k=%d: decode: %v", k, err)
+		}
+		resumed, err := jacobi.ResumeSession(ck2)
+		if err != nil {
+			t.Fatalf("k=%d: resume: %v", k, err)
+		}
+		fp, sum := finishFingerprint(t, resumed)
+		if fp != refFP {
+			t.Fatalf("k=%d: restored fingerprint %s, unbroken run %s", k, fp, refFP)
+		}
+		if sum != refSum {
+			t.Fatalf("k=%d: restored checksum %v, unbroken run %v", k, sum, refSum)
+		}
+	}
+}
+
 // TestCheckpointRoundTripAdaptive sweeps the restore property over a run
 // with the access profiler and home migration enabled, so checkpoints land
 // inside profiler epochs (between the barriers that fold them) and the

@@ -122,7 +122,28 @@ func validateArgs(exp string, shards, perturb, readers int) error {
 		return fmt.Errorf("unknown experiment %q (valid: %s)", exp, strings.Join(experiments, ", "))
 	}
 	if shards < 0 {
-		return fmt.Errorf("-shards %d out of range (want >= 0; 0 selects the host CPU count)", shards)
+		return fmt.Errorf("-shards %d out of range (want >= 0; 0 selects the experiment's default)", shards)
+	}
+	// The experiments that shard the simulated machine (not just the host
+	// matrix) bound -shards by their pinned topology: a shard must own at
+	// least one node, and the comm scale rows additionally need the shards to
+	// tile the hierarchical topology's clusters so the combining tree's
+	// leaves align with cluster boundaries.
+	switch exp {
+	case "serve":
+		if shards > bench.ServeNodes {
+			return fmt.Errorf("-shards %d exceeds the serve workload's %d nodes (a shard owns at least one node)",
+				shards, bench.ServeNodes)
+		}
+	case "comm":
+		if shards > bench.CommScaleClusters {
+			return fmt.Errorf("-shards %d exceeds the comm scale topology's %d clusters",
+				shards, bench.CommScaleClusters)
+		}
+		if shards > 0 && bench.CommScaleClusters%shards != 0 {
+			return fmt.Errorf("-shards %d does not tile the comm scale topology's %d clusters (want a divisor)",
+				shards, bench.CommScaleClusters)
+		}
 	}
 	if perturb < 1 {
 		return fmt.Errorf("-perturb %d out of range (want >= 1: a session step index)", perturb)
@@ -149,7 +170,7 @@ func realMain(args []string) (code int) {
 	repair := fs.Float64("repair", 3, "generated plans: node repair time (virtual ms)")
 	faultSeed := fs.Int64("faultseed", 11, "seed for generated fault plans and message-loss draws")
 	faultProtos := fs.String("faultproto", "hbrc_mw,entry_mw", "comma-separated protocols for the faults experiment")
-	shards := fs.Int("shards", 0, "kernel experiment: max shard count for the host-scaling matrix (0 = host CPUs, floored at 2)")
+	shards := fs.Int("shards", 0, "kernel: max shard count for the host-scaling matrix (0 = host CPUs, floored at 2); comm: shard count of the combining-tree scale rows (0 = one per cluster); serve: kernel shards for the KV runs (0 = single-loop)")
 	perturb := fs.Int("perturb", 3, "bisect experiment: session step at which the deliberate divergence is injected")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
@@ -240,7 +261,7 @@ func realMain(args []string) (code int) {
 		}
 	}
 	if *exp == "comm" { // explicit opt-in, not part of "all"
-		if err := comm(*jsonOut); err != nil {
+		if err := comm(*jsonOut, *shards); err != nil {
 			log.Printf("comm: %v", err)
 			return 1
 		}
@@ -252,7 +273,7 @@ func realMain(args []string) (code int) {
 		}
 	}
 	if *exp == "serve" { // explicit opt-in, not part of "all"
-		if err := serve(*jsonOut); err != nil {
+		if err := serve(*jsonOut, *shards); err != nil {
 			log.Printf("serve: %v", err)
 			return 1
 		}
@@ -581,8 +602,12 @@ type commSnapshot struct {
 }
 
 // comm compares the batched and unbatched communication paths across the
-// barrier-phased applications at cluster scale.
-func comm(writeJSON bool) error {
+// barrier-phased applications at cluster scale, then runs the scale rows:
+// jacobi on the 8-cluster hierarchical topology at 64 and 512 nodes, flat
+// barriers vs the combining tree, reporting the per-barrier backbone
+// envelope cost. treeShards picks the tree rows' shard count (0 = one shard
+// per cluster).
+func comm(writeJSON bool, treeShards int) error {
 	header("Comm: batched vs unbatched communication path (virtual-time exact)")
 	results := bench.CommSuite()
 	fmt.Printf("%-10s %6s %9s %10s %10s %9s %8s %8s %8s %8s %12s\n",
@@ -610,6 +635,34 @@ func comm(writeJSON bool) error {
 	fmt.Println(" excludes the page-fetch pairs no batching can remove. The batched jacobi")
 	fmt.Println(" rows show zero invalidation envelopes: the barrier's write notices carry")
 	fmt.Println(" the invalidation information for free)")
+
+	header("Comm scale: per-barrier backbone envelopes, flat vs combining-tree barriers")
+	scale := bench.CommScaleSuite(treeShards)
+	fmt.Printf("%-12s %6s %9s %7s %10s %9s %10s %13s\n",
+		"app", "nodes", "clusters", "shards", "envelopes", "backbone", "barriers", "backbone/bar")
+	var flat512, tree512 bench.CommResult
+	for _, r := range scale {
+		results = append(results, r)
+		fmt.Printf("%-12s %6d %9d %7d %10d %9d %10d %13.1f\n",
+			r.App, r.Nodes, r.Clusters, r.Shards, r.Envelopes,
+			r.BackboneEnvelopes, r.BarrierGens, r.BackbonePerBarrier)
+		if r.Nodes == 512 {
+			if r.Shards == 1 {
+				flat512 = r
+			} else {
+				tree512 = r
+			}
+		}
+	}
+	if flat512.BackbonePerBarrier > 0 && tree512.BackbonePerBarrier > 0 {
+		fmt.Printf("512-node per-barrier backbone reduction: %.1fx (%.1f -> %.1f envelopes)\n",
+			flat512.BackbonePerBarrier/tree512.BackbonePerBarrier,
+			flat512.BackbonePerBarrier, tree512.BackbonePerBarrier)
+	}
+	fmt.Println("(backbone/bar subtracts the remote page-fetch pairs; what remains is the")
+	fmt.Println(" synchronization traffic. Flat barriers send every non-home arrival across")
+	fmt.Println(" the backbone — O(N) per generation — while the combining tree crosses it")
+	fmt.Println(" only leader-to-leader: O(fan-in x log clusters), whatever the node count)")
 	if !writeJSON {
 		return nil
 	}
@@ -712,15 +765,16 @@ type serveSnapshot struct {
 
 // serve runs the Zipf-serving KV store under static and adaptive placement
 // and reports the per-operation tail latencies. It fails unless the
-// adaptive p99 beats the static one and the replay check holds.
-func serve(writeJSON bool) error {
+// adaptive p99 beats the static one and the replay check holds. shards > 1
+// serves the trace on that many parallel event loops.
+func serve(writeJSON bool, shards int) error {
 	header("Serve: Zipf KV store tail latency, static (misplaced) vs adaptive homes")
-	static, adaptive, replayOK, err := bench.ServeSuite()
+	static, adaptive, replayOK, err := bench.ServeSuite(shards)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("workload: %d requests over %d keys in %d buckets on %d nodes, %s\n",
-		static.Requests, static.Keys, static.Buckets, static.Nodes, static.Protocol)
+	fmt.Printf("workload: %d requests over %d keys in %d buckets on %d nodes (%d kernel shard(s)), %s\n",
+		static.Requests, static.Keys, static.Buckets, static.Nodes, max(static.Shards, 1), static.Protocol)
 	fmt.Printf("%-10s %-6s %8s %12s %12s %12s %12s %12s\n",
 		"placement", "op", "count", "p50(us)", "p95(us)", "p99(us)", "mean(us)", "max(us)")
 	us := func(d dsmpm2.Duration) float64 { return float64(d) / 1e3 }

@@ -127,12 +127,17 @@ type Config struct {
 	// are re-homed onto their dominant writers (`dsmbench -exp adapt`).
 	// Off by default — placement then stays exactly as allocated.
 	AdaptiveHomes bool
-	// Shards selects the simulation kernel's parallelism. The DSM layer is
-	// a single-loop design (every protocol state machine assumes one
-	// calendar), so a System accepts only 0 or 1 here — the field exists
-	// so configs are shared verbatim with the sharded PM2/bench layers,
-	// and so a future sharded DSM core has its knob reserved. Sharded
-	// execution today is a pm2.Config / dsmbench -shards feature.
+	// Shards selects the simulation kernel's parallelism: the event loop is
+	// partitioned into that many conservatively-synchronized shards (one
+	// per topology cluster when a Hierarchical topology matches the count,
+	// contiguous node blocks otherwise), each running on its own host core.
+	// The DSM layer is shard-aware end-to-end — per-shard counters and
+	// buffer pools, a range-partitioned directory, and combining-tree
+	// barriers — and a sharded run is deterministic: same seed, same
+	// observable DSM state, whatever the host interleaving. 0 or 1 keeps
+	// the single-loop kernel (bit-for-bit the historical behavior).
+	// Incompatible with fault injection/recovery, whose death bookkeeping
+	// is single-loop machinery.
 	Shards int
 	// Protocol names the default consistency protocol (default
 	// "li_hudak"); see ProtocolNames for the list.
@@ -195,8 +200,8 @@ func New(cfg Config) (*System, error) {
 		return nil, fmt.Errorf("dsmpm2: topology %s is built for %d nodes, config has %d",
 			cfg.Topology.Name(), s.Nodes(), cfg.Nodes)
 	}
-	if cfg.Shards > 1 {
-		return nil, fmt.Errorf("dsmpm2: the DSM protocol layer requires Shards <= 1 (got %d); sharded execution is a pm2/bench kernel feature", cfg.Shards)
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("dsmpm2: invalid shard count %d", cfg.Shards)
 	}
 	rt := pm2.NewRuntime(pm2.Config{
 		Nodes:          cfg.Nodes,
@@ -205,6 +210,7 @@ func New(cfg Config) (*System, error) {
 		Topology:       cfg.Topology,
 		LinkContention: cfg.LinkContention,
 		Seed:           cfg.Seed,
+		Shards:         cfg.Shards,
 	})
 	reg, ids := protocols.NewRegistry()
 	d := core.New(rt, reg, core.DefaultCosts())

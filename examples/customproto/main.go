@@ -44,14 +44,14 @@ func newHomePush(sys *dsmpm2.System) dsmpm2.ProtoID {
 		OnReadServer: func(r *core.Request) {
 			e, _ := core.ServeWhenOwner(r)
 			e.AddCopyset(r.From)
-			core.SendPage(r, e, r.From, memory.ReadOnly, false, nil)
+			core.SendPage(r, e, r.From, memory.ReadOnly, false, core.NodeSet{})
 			e.Unlock(r.Thread)
 		},
 		OnWriteServer: func(r *core.Request) {
 			// Home-based: grant a writable copy, keep ownership.
 			e, _ := core.ServeWhenOwner(r)
 			e.AddCopyset(r.From)
-			core.SendPage(r, e, r.From, memory.ReadWrite, false, nil)
+			core.SendPage(r, e, r.From, memory.ReadWrite, false, core.NodeSet{})
 			e.Unlock(r.Thread)
 		},
 		OnInvalidate:  func(iv *core.Invalidate) { core.DropCopy(iv) },
@@ -79,14 +79,9 @@ func newHomePush(sys *dsmpm2.System) dsmpm2.ProtoID {
 				e := d.Entry(dm.Node, df.Page)
 				e.Lock(dm.Thread)
 				cs := e.TakeCopyset()
-				var invalidate []int
-				for _, n := range cs {
-					if n != dm.From {
-						invalidate = append(invalidate, n)
-					}
-				}
+				cs.Remove(dm.From)
 				e.Unlock(dm.Thread)
-				core.InvalidateCopies(d, dm.Thread, df.Page, invalidate, -1)
+				core.InvalidateCopies(d, dm.Thread, df.Page, cs, -1)
 			}
 		},
 	})

@@ -1,6 +1,8 @@
 package dsmpm2
 
 import (
+	"fmt"
+
 	"dsmpm2/internal/core"
 	"dsmpm2/internal/madeleine"
 	"dsmpm2/internal/sim"
@@ -132,6 +134,13 @@ type FaultOptions struct {
 // enableFaultLayers switches on the network fault layer and the DSM recovery
 // manager (idempotently), the shared half of both injection paths.
 func (s *System) enableFaultLayers(seed int64, opts FaultOptions) {
+	if s.rt.Sharded() {
+		// Crash recovery is single-loop machinery: death bookkeeping is
+		// centralized, the flat barrier's participant takeover assumes one
+		// calendar, and the combining-tree barrier (treebar.go) explicitly
+		// routes around recovery. Fail loudly rather than corrupt state.
+		panic(fmt.Sprintf("dsmpm2: fault injection requires Shards <= 1 (got %d shards); crash recovery assumes the single-loop kernel", s.rt.Shards()))
+	}
 	if !s.rt.Network().FaultsEnabled() {
 		s.rt.EnableFaults(seed, opts.Partition)
 	}

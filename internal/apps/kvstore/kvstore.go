@@ -364,7 +364,36 @@ func Run(cfg Config) (Result, error) {
 	}
 	bar := sys.NewBarrier(cfg.Nodes + 1)
 
+	// On a sharded machine the generator may not touch a remote server's
+	// queue directly: the queue (and any receiver parked on it) belongs to
+	// the shard that owns the serving node. Cross-shard dispatch goes
+	// through the kernel's mailbox instead, delayed by a uniform dispatch
+	// latency — the largest inter-shard lookahead, so the delivery time is
+	// admissible for every destination and arrival skew between a
+	// generator-local and a remote server is placement-independent. The
+	// single-loop path is untouched (direct zero-latency push).
+	rt := sys.Runtime()
+	var dispatchLat dsmpm2.Duration
+	if rt.Sharded() {
+		se := rt.ShardedEngine()
+		for i := 0; i < se.Shards(); i++ {
+			for j := 0; j < se.Shards(); j++ {
+				if i != j && se.Lookahead(i, j) > dispatchLat {
+					dispatchLat = se.Lookahead(i, j)
+				}
+			}
+		}
+	}
+
 	res := Result{System: sys}
+	// Per-node tallies: server threads on different shards run on different
+	// host goroutines, so they may not share a counter. Each server owns a
+	// slot; the slots are summed into the result after the run. (The latency
+	// histograms need no such treatment — Histogram.Record is an atomic,
+	// commutative add, shard-safe by construction.)
+	served := make([]int64, cfg.Nodes)
+	dropped := make([]int64, cfg.Nodes)
+	idleTicks := make([]int64, cfg.Nodes)
 	getHist := sys.OpHist("get")
 	putHist := sys.OpHist("put")
 	var dropHist *dsmpm2.Histogram
@@ -376,6 +405,14 @@ func Run(cfg Config) (Result, error) {
 	// absolute time, and push to the serving node's queue. Epoch marks are
 	// emitted every Requests/Epochs operations and at the end of the trace.
 	sys.Spawn(0, "loadgen", func(t *dsmpm2.Thread) {
+		send := func(node int, v interface{}) {
+			if !rt.Sharded() {
+				queues[node].Push(v)
+				return
+			}
+			eng := t.PM2().Proc().Engine()
+			eng.SchedulePushShard(rt.ShardOf(node), t.Now().Add(dispatchLat), queues[node], v)
+		}
 		start := t.Now()
 		nextMark := 1
 		for i, r := range tr.reqs {
@@ -384,17 +421,17 @@ func Run(cfg Config) (Result, error) {
 				t.Sleep(d)
 			}
 			r.at = due
-			queues[bucketOf(r.key, cfg.Buckets)%cfg.Nodes].Push(r)
+			send(bucketOf(r.key, cfg.Buckets)%cfg.Nodes, r)
 			if (i+1)*cfg.Epochs >= nextMark*cfg.Requests {
-				for _, q := range queues {
-					q.Push(epochMark{})
+				for n := range queues {
+					send(n, epochMark{})
 				}
 				t.Barrier(bar)
 				nextMark++
 			}
 		}
-		for _, q := range queues {
-			q.Push(stopMark{})
+		for n := range queues {
+			send(n, stopMark{})
 		}
 	})
 
@@ -406,7 +443,7 @@ func Run(cfg Config) (Result, error) {
 			for {
 				v, ok := q.RecvTimeout(proc, sim.Duration(cfg.IdleTick))
 				if !ok {
-					res.IdleTicks++ // idle poll; single-loop sim, no race
+					idleTicks[node]++ // idle poll
 					continue
 				}
 				switch m := v.(type) {
@@ -417,7 +454,7 @@ func Run(cfg Config) (Result, error) {
 				case request:
 					if cfg.Deadline > 0 && t.Now().Sub(m.at) > cfg.Deadline {
 						dropHist.Record(t.Now().Sub(m.at))
-						res.Dropped++
+						dropped[node]++
 						continue
 					}
 					b := bucketOf(m.key, cfg.Buckets)
@@ -435,7 +472,7 @@ func Run(cfg Config) (Result, error) {
 					} else {
 						getHist.Record(t.Now().Sub(m.at))
 					}
-					res.Served++
+					served[node]++
 				}
 			}
 		})
@@ -444,6 +481,11 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	res.Elapsed = sys.Now()
+	for node := 0; node < cfg.Nodes; node++ {
+		res.Served += served[node]
+		res.Dropped += dropped[node]
+		res.IdleTicks += idleTicks[node]
+	}
 
 	// Read the final table back through the DSM from node 0, under the
 	// bucket locks, and fold the oracle checksum.

@@ -30,6 +30,10 @@ type CommResult struct {
 	App     string `json:"app"`
 	Nodes   int    `json:"nodes"`
 	Batched bool   `json:"batched"`
+	// Clusters/Shards identify the scale rows (hierarchical topology, kernel
+	// shard count); zero for the classic uniform-topology rows.
+	Clusters int `json:"clusters,omitempty"`
+	Shards   int `json:"shards,omitempty"`
 	// VirtualMS is the workload's simulated run time.
 	VirtualMS float64 `json:"virtual_ms"`
 
@@ -55,6 +59,15 @@ type CommResult struct {
 	DiffBytes     int64 `json:"diff_bytes"`
 	Notices       int64 `json:"notices"`
 	DSMEnvelopes  int64 `json:"dsm_envelopes"`
+
+	// Backbone accounting for the scale rows: envelopes that crossed the
+	// inter-cluster link class, and the per-barrier-generation share of them
+	// after subtracting the page-fetch pairs (request + page send per remote
+	// fault on the backbone) that no barrier scheme can remove. Flat barriers
+	// grow this O(N); the combining tree holds it at O(fan-in · log clusters).
+	BackboneEnvelopes  int     `json:"backbone_envelopes,omitempty"`
+	BarrierGens        int64   `json:"barrier_gens,omitempty"`
+	BackbonePerBarrier float64 `json:"backbone_per_barrier,omitempty"`
 
 	// ByLink summarizes the recorded fault timings per link class.
 	ByLink []CommLink `json:"by_link"`
@@ -183,6 +196,99 @@ func CommSuite() []CommResult {
 	var out []CommResult
 	for _, c := range commRuns() {
 		out = append(out, c.measure(false), c.measure(true))
+	}
+	return out
+}
+
+// CommScaleClusters is the cluster count of the scale rows' hierarchical
+// topology (and the shard count that aligns the kernel's shards — and
+// therefore the combining tree's leaves — with those clusters). dsmbench
+// validates its -shards flag against it.
+const CommScaleClusters = 8
+
+// commScale runs one scale row: jacobi on a hierarchical topology (fast
+// intra-cluster links, slow backbone) at the given node count, flat
+// (shards=1, every barrier arrival Calls the home node) or sharded (one
+// shard per cluster, barrier traffic combines per cluster and only the
+// leaders touch the backbone).
+func commScale(nodes, iters, shards int) CommResult {
+	clusters := CommScaleClusters
+	inter := dsmpm2.TCPFastEthernet
+	res, err := jacobi.Run(jacobi.Config{
+		N: nodes, Iterations: iters, Nodes: nodes,
+		Topology: dsmpm2.HierarchicalTopology(
+			dsmpm2.EvenClusters(nodes, clusters), dsmpm2.BIPMyrinet, inter),
+		Protocol: "hbrc_mw", Seed: 7, Shards: shards,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("comm scale %d/%d: %v", nodes, shards, err))
+	}
+	if want := jacobi.SolveSerial(nodes, iters); res.Checksum != want {
+		panic(fmt.Sprintf("comm scale %d/%d: checksum %v, serial %v", nodes, shards, res.Checksum, want))
+	}
+	sys := res.System
+	st := sys.Stats()
+	msgs, bytes := sys.Runtime().Network().Stats()
+	out := CommResult{
+		App:       "jacobi-hier",
+		Nodes:     nodes,
+		Batched:   true,
+		Clusters:  clusters,
+		Shards:    shards,
+		VirtualMS: float64(res.Elapsed) / 1e6,
+		Messages:  msgs,
+		Bytes:     bytes,
+		Envelopes: sys.Runtime().Network().Envelopes(),
+		SyncEnvelopes: int64(sys.Runtime().Network().Envelopes()) -
+			st.Requests - st.PageSends,
+
+		Sends:         st.Sends,
+		Requests:      st.Requests,
+		PageSends:     st.PageSends,
+		Invalidations: st.Invalidations,
+		InvAcks:       st.InvAcks,
+		DiffsSent:     st.DiffsSent,
+		DiffBytes:     st.DiffBytes,
+		Notices:       st.Notices,
+		DSMEnvelopes:  st.Envelopes,
+
+		BackboneEnvelopes: sys.Runtime().Network().EnvelopesByLink()[inter.Name],
+		BarrierGens:       st.Barriers / int64(nodes),
+	}
+	var interFaults int
+	for _, s := range sys.Timings().ByLink() {
+		if s.Link == inter.Name {
+			interFaults = s.Count
+		}
+		if s.Link == "" {
+			continue
+		}
+		out.ByLink = append(out.ByLink, CommLink{
+			Link: s.Link, Count: s.Count, MeanTotalUS: s.MeanTotal.Microseconds(),
+		})
+	}
+	if out.BarrierGens > 0 {
+		out.BackbonePerBarrier = float64(out.BackboneEnvelopes-2*interFaults) /
+			float64(out.BarrierGens)
+	}
+	return out
+}
+
+// CommScaleSuite is the sync-envelope growth matrix: 64- and 512-node jacobi
+// on the 8-cluster hierarchical topology, each measured with flat barriers
+// (shards=1) and with the combining tree (treeShards > 1, one shard per
+// cluster when treeShards == CommScaleClusters). treeShards <= 1 selects the
+// cluster count. Iteration counts are small — per-barrier backbone cost is
+// steady-state after the first generation, and these rows exist for the wire
+// accounting, not the heat flow.
+func CommScaleSuite(treeShards int) []CommResult {
+	if treeShards <= 1 {
+		treeShards = CommScaleClusters
+	}
+	var out []CommResult
+	for _, nodes := range []int{64, 512} {
+		iters := 4
+		out = append(out, commScale(nodes, iters, 1), commScale(nodes, iters, treeShards))
 	}
 	return out
 }

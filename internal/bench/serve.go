@@ -22,14 +22,20 @@ import (
 	"dsmpm2/internal/apps/kvstore"
 )
 
+// ServeNodes is the pinned workload's cluster size; dsmbench validates its
+// -shards flag against it (a shard owns at least one node).
+const ServeNodes = 4
+
 // ServeResult is one placement's run of the serve experiment.
 type ServeResult struct {
 	Placement string `json:"placement"` // "static" or "adaptive"
 	Protocol  string `json:"protocol"`
 	Nodes     int    `json:"nodes"`
-	Buckets   int    `json:"buckets"`
-	Keys      int    `json:"keys"`
-	Requests  int    `json:"requests"`
+	// Shards is the kernel shard count the run used (0/absent = single-loop).
+	Shards   int `json:"shards,omitempty"`
+	Buckets  int `json:"buckets"`
+	Keys     int `json:"keys"`
+	Requests int `json:"requests"`
 	// VirtualMS is the trace's simulated duration.
 	VirtualMS float64 `json:"virtual_ms"`
 
@@ -56,7 +62,7 @@ type ServeResult struct {
 // placement's queueing knee.
 func serveConfig() kvstore.Config {
 	return kvstore.Config{
-		Nodes:         4,
+		Nodes:         ServeNodes,
 		Buckets:       16,
 		Keys:          512,
 		Requests:      1600,
@@ -67,10 +73,12 @@ func serveConfig() kvstore.Config {
 	}
 }
 
-// serveMeasure runs one placement of the pinned workload.
-func serveMeasure(adaptive bool) (ServeResult, error) {
+// serveMeasure runs one placement of the pinned workload, on shards event
+// loops (<= 1 = the legacy single-loop engine).
+func serveMeasure(adaptive bool, shards int) (ServeResult, error) {
 	cfg := serveConfig()
 	cfg.AdaptiveHomes = adaptive
+	cfg.Shards = shards
 	res, err := kvstore.Run(cfg)
 	if err != nil {
 		return ServeResult{}, err
@@ -83,6 +91,7 @@ func serveMeasure(adaptive bool) (ServeResult, error) {
 		Placement:      placement,
 		Protocol:       "entry_mw",
 		Nodes:          cfg.Nodes,
+		Shards:         shards,
 		Buckets:        cfg.Buckets,
 		Keys:           cfg.Keys,
 		Requests:       cfg.Requests,
@@ -102,13 +111,16 @@ func serveMeasure(adaptive bool) (ServeResult, error) {
 // ServeSuite runs the serve experiment: the same trace under static and
 // adaptive placement, a serial-oracle checksum check, and a full replay of
 // the adaptive run asserting the latency histograms are bit-identical.
-// The returned replayIdentical is that replay check's verdict.
-func ServeSuite() (static, adaptive ServeResult, replayIdentical bool, err error) {
-	static, err = serveMeasure(false)
+// The returned replayIdentical is that replay check's verdict. shards <= 1
+// keeps the legacy single-loop kernel; shards > 1 serves the same trace on
+// that many parallel event loops (latency digests then describe the sharded
+// schedule — compare sharded runs against sharded runs).
+func ServeSuite(shards int) (static, adaptive ServeResult, replayIdentical bool, err error) {
+	static, err = serveMeasure(false, shards)
 	if err != nil {
 		return
 	}
-	adaptive, err = serveMeasure(true)
+	adaptive, err = serveMeasure(true, shards)
 	if err != nil {
 		return
 	}
@@ -123,7 +135,7 @@ func ServeSuite() (static, adaptive ServeResult, replayIdentical bool, err error
 			return
 		}
 	}
-	replay, err := serveMeasure(true)
+	replay, err := serveMeasure(true, shards)
 	if err != nil {
 		return
 	}

@@ -107,7 +107,7 @@ func (d *DSM) registerServices() {
 				Seq:    m.seq,
 				Timing: m.timing,
 			}
-			p := d.protoFor(m.page)
+			p := d.protoAt(h.Node(), m.page)
 			if m.write {
 				p.WriteServer(r)
 			} else {
@@ -136,7 +136,7 @@ func (d *DSM) registerServices() {
 				Seq:     m.seq,
 				Timing:  m.timing,
 			}
-			d.protoFor(m.page).ReceivePageServer(pm)
+			d.protoAt(h.Node(), m.page).ReceivePageServer(pm)
 			return nil
 		})
 
@@ -162,7 +162,7 @@ func (d *DSM) registerServices() {
 				From:     m.from,
 				NewOwner: m.newOwner,
 			}
-			d.protoFor(m.page).InvalidateServer(iv)
+			d.protoAt(h.Node(), m.page).InvalidateServer(iv)
 			if m.ack != nil {
 				// The ack names the acknowledging node and page, so a
 				// recovery retry loop can tick off exactly which holders
@@ -176,7 +176,7 @@ func (d *DSM) registerServices() {
 		node.Register(svcDiff, true, func(h *pm2.Thread, arg interface{}) interface{} {
 			m := arg.(*diffMsgWire)
 			if len(m.diffs) > 0 {
-				ds, ok := d.protoFor(m.diffs[0].Page).(DiffServer)
+				ds, ok := d.protoAt(h.Node(), m.diffs[0].Page).(DiffServer)
 				if !ok {
 					panic("core: diffs sent to a protocol without a DiffServer")
 				}
@@ -201,10 +201,11 @@ func (d *DSM) registerServices() {
 
 // sendRequest delivers a page request to dest (a control message).
 func (d *DSM) sendRequest(from, dest int, m *reqMsg) {
-	m.sentAt = d.rt.Now()
-	d.stats.Requests++
-	d.stats.Sends++
-	d.stats.Envelopes++
+	m.sentAt = d.rt.EngineFor(from).Now()
+	st := d.st(from)
+	st.Requests++
+	st.Sends++
+	st.Envelopes++
 	d.rt.AsyncFrom(from, dest, svcRequest, m, ctrlBytes)
 }
 
@@ -214,21 +215,23 @@ func (d *DSM) sendRequest(from, dest int, m *reqMsg) {
 // carrying link's profile name is recorded for FaultTiming attribution, so
 // reports can split fault costs by link class (intra- vs inter-cluster).
 func (d *DSM) sendPage(from, dest int, m *pageMsg) {
-	m.sentAt = d.rt.Now()
+	m.sentAt = d.rt.EngineFor(from).Now()
 	m.link = d.rt.Link(from, dest).Name
-	d.stats.PageSends++
-	d.stats.PageBytes += int64(len(m.data))
-	d.stats.Sends++
-	d.stats.Envelopes++
+	st := d.st(from)
+	st.PageSends++
+	st.PageBytes += int64(len(m.data))
+	st.Sends++
+	st.Envelopes++
 	d.rt.AsyncFrom(from, dest, svcPage, m, len(m.data))
 }
 
 // sendInvalidate delivers an invalidation to dest as its own envelope (the
 // unbatched path; batched flushes coalesce invalidations in outbox.go).
 func (d *DSM) sendInvalidate(from, dest int, m *invMsg) {
-	d.stats.Invalidations++
-	d.stats.Sends++
-	d.stats.Envelopes++
+	st := d.st(from)
+	st.Invalidations++
+	st.Sends++
+	st.Envelopes++
 	d.rt.AsyncFrom(from, dest, svcInvald, m, ctrlBytes)
 }
 
@@ -250,10 +253,11 @@ func (d *DSM) startDiffs(t *pm2.Thread, dest int, diffs []*memory.Diff, noticed,
 		size += df.Size()
 	}
 	m := &diffMsgWire{from: t.Node(), diffs: diffs, noticed: noticed}
-	d.stats.DiffsSent += int64(len(diffs))
-	d.stats.DiffBytes += int64(size)
-	d.stats.Sends++
-	d.stats.Envelopes++
+	st := d.st(t.Node())
+	st.DiffsSent += int64(len(diffs))
+	st.DiffBytes += int64(size)
+	st.Sends++
+	st.Envelopes++
 	if wait {
 		m.reply = new(sim.Chan)
 	}
@@ -291,9 +295,10 @@ func (d *DSM) waitDiffs(t *pm2.Thread, f *diffFlight) {
 			// duplicate ack just lingers unread in this call's private
 			// reply channel. Counted like any other shipment, mirroring
 			// the batched retry path's accounting.
-			d.stats.DiffsSent += int64(len(f.m.diffs))
-			d.stats.Sends++
-			d.stats.Envelopes++
+			st := d.st(t.Node())
+			st.DiffsSent += int64(len(f.m.diffs))
+			st.Sends++
+			st.Envelopes++
 			d.rt.AsyncFrom(t.Node(), f.dest, svcDiff, f.m, f.size)
 			continue
 		}
@@ -311,7 +316,8 @@ func (d *DSM) waitDiffs(t *pm2.Thread, f *diffFlight) {
 // would have at the old home.
 func (d *DSM) rerouteDiffs(t *pm2.Thread, diffs []*memory.Diff) {
 	for _, df := range diffs {
-		home := d.allocInfo[df.Page].home
+		pi, _ := d.dir.get(df.Page)
+		home := pi.home
 		if home == t.Node() {
 			if ds, ok := d.protoFor(df.Page).(DiffServer); ok {
 				ds.DiffServer(&DiffMsg{

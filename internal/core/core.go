@@ -13,6 +13,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"dsmpm2/internal/isomalloc"
 	"dsmpm2/internal/memory"
@@ -80,6 +82,11 @@ type nodeState struct {
 	// barrier keeps a concurrent thread's arrival at a different barrier
 	// from walking off with them.
 	notices map[int][]WriteNotice
+
+	// treebar holds this node's combining-tree barrier accumulators, keyed
+	// by barrier id — populated only on cluster-leader nodes of a sharded
+	// machine (see treebar.go).
+	treebar map[int]*treeBarLocal
 }
 
 // DSM is a DSM-PM2 instance spanning all nodes of a PM2 machine.
@@ -88,22 +95,39 @@ type DSM struct {
 	alloc *isomalloc.Allocator
 	costs Costs
 
-	// bufs recycles page-sized buffers: wire copies of page transfers and
-	// the twins of multiple-writer protocols. Faults stop costing a 4 KiB
-	// allocation each once the pool warms up.
-	bufs *memory.BufPool
+	// bufsSh recycles page-sized buffers — wire copies of page transfers
+	// and the twins of multiple-writer protocols — one pool per event-loop
+	// shard, accessed through buf(node) so concurrent shards never share a
+	// free list. Buffers drift between pools (a page fetched on one shard
+	// is recycled on the receiver's), which is harmless: pools are
+	// interchangeable and each stays internally consistent.
+	bufsSh []*memory.BufPool
 
 	state []*nodeState
 
-	registry  *Registry
-	instances map[ProtoID]Protocol
+	registry *Registry
+	// instances is a copy-on-write ProtoID → Protocol map: protoFor runs on
+	// every fault and message service, from every shard's context, while
+	// instantiation is rare (first use of a protocol). Readers load the
+	// published map lock-free; instMu serializes the writers.
+	instances atomic.Pointer[map[ProtoID]Protocol]
+	instMu    sync.Mutex
 	defProto  ProtoID
 
-	allocInfo map[Page]pageInfo
+	// dir is the range-sharded page directory (see directory.go): the
+	// allocation-time home/protocol metadata, partitioned by isomalloc
+	// slice owner.
+	dir *directory
 
 	locks    []*lockState
 	barriers []*barrierState
 	conds    []*condState
+
+	// tree is the combining-tree barrier topology, built when the runtime
+	// is sharded (nil otherwise): cluster-wide barriers then aggregate
+	// arrivals per cluster leader instead of funneling every arrival to
+	// node 0. See treebar.go.
+	tree *barTree
 
 	objects *objectSpace
 
@@ -123,12 +147,22 @@ type DSM struct {
 	// comparison (see outbox.go).
 	batch bool
 
-	stats      Stats
+	// statsSh and timingsSh hold one counter block / timing ring per
+	// event-loop shard: every increment happens from some node's context
+	// and lands in that node's shard's block, so no two host cores ever
+	// contend on (or race over) a counter. Stats() and Timings() fold them
+	// in shard order — a deterministic merge, since each shard's content is
+	// deterministic. With Shards=1 there is exactly one block and the fold
+	// is the identity.
+	statsSh    []Stats
+	timingsSh  []TimingLog
 	nodeFaults []int64
-	timings    TimingLog
 
 	// opHists holds the per-operation latency histograms (see histogram.go),
-	// keyed by op kind, created lazily by OpHist.
+	// keyed by op kind, created lazily by OpHist; histMu guards the map
+	// (threads on different shards may register kinds concurrently — the
+	// histograms themselves are internally atomic).
+	histMu  sync.Mutex
 	opHists map[string]*Histogram
 }
 
@@ -144,15 +178,20 @@ type pageInfo struct {
 // protocol registry. Registered protocols are instantiated per DSM.
 func New(rt *pm2.Runtime, reg *Registry, costs Costs) *DSM {
 	d := &DSM{
-		rt:        rt,
-		alloc:     isomalloc.New(rt.Nodes(), PageSize),
-		costs:     costs,
-		bufs:      memory.NewBufPool(PageSize),
-		registry:  reg,
-		instances: make(map[ProtoID]Protocol),
-		allocInfo: make(map[Page]pageInfo),
-		defProto:  -1,
-		batch:     true,
+		rt:       rt,
+		alloc:    isomalloc.New(rt.Nodes(), PageSize),
+		costs:    costs,
+		registry: reg,
+		defProto: -1,
+		batch:    true,
+	}
+	d.dir = newDirectory(d.alloc, rt.Nodes())
+	shards := rt.Shards()
+	d.statsSh = make([]Stats, shards)
+	d.timingsSh = make([]TimingLog, shards)
+	d.bufsSh = make([]*memory.BufPool, shards)
+	for i := range d.bufsSh {
+		d.bufsSh[i] = memory.NewBufPool(PageSize)
 	}
 	d.nodeFaults = make([]int64, rt.Nodes())
 	for i := 0; i < rt.Nodes(); i++ {
@@ -161,6 +200,9 @@ func New(rt *pm2.Runtime, reg *Registry, costs Costs) *DSM {
 			space: memory.NewSpace(PageSize),
 			table: make(map[Page]*Entry),
 		})
+	}
+	if rt.Shards() > 1 {
+		d.tree = newBarTree(rt)
 	}
 	d.objects = newObjectSpace(d)
 	d.registerServices()
@@ -199,18 +241,44 @@ func (d *DSM) DefaultProtocol() ProtoID { return d.defProto }
 
 // instance returns (instantiating on first use) the protocol instance for id.
 func (d *DSM) instance(id ProtoID) Protocol {
-	if p, ok := d.instances[id]; ok {
-		return p
+	if m := d.instances.Load(); m != nil {
+		if p, ok := (*m)[id]; ok {
+			return p
+		}
+	}
+	d.instMu.Lock()
+	defer d.instMu.Unlock()
+	old := d.instances.Load()
+	if old != nil {
+		if p, ok := (*old)[id]; ok {
+			return p
+		}
 	}
 	p := d.registry.newInstance(id, d)
-	d.instances[id] = p
+	next := make(map[ProtoID]Protocol, 1)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	next[id] = p
+	d.instances.Store(&next)
 	return p
+}
+
+// instanceIfLive returns the already-instantiated protocol for id, if any.
+func (d *DSM) instanceIfLive(id ProtoID) (Protocol, bool) {
+	if m := d.instances.Load(); m != nil {
+		p, ok := (*m)[id]
+		return p, ok
+	}
+	return nil, false
 }
 
 // eachInstance invokes fn on every instantiated protocol, in id order.
 func (d *DSM) eachInstance(fn func(Protocol)) {
 	for id := ProtoID(0); int(id) < d.registry.Len(); id++ {
-		if p, ok := d.instances[id]; ok {
+		if p, ok := d.instanceIfLive(id); ok {
 			fn(p)
 		}
 	}
@@ -260,7 +328,7 @@ func (d *DSM) Malloc(node, size int, attr *Attr) (Addr, error) {
 	npages := r.Size / PageSize
 	for i := 0; i < npages; i++ {
 		pg := first + Page(i)
-		d.allocInfo[pg] = pageInfo{home: home, proto: proto}
+		d.dir.set(pg, pageInfo{home: home, proto: proto})
 		// The home node starts with the only, writable copy.
 		d.state[home].space.SetAccess(pg, memory.ReadWrite)
 		d.Entry(home, pg).Owner = true
@@ -271,8 +339,9 @@ func (d *DSM) Malloc(node, size int, attr *Attr) (Addr, error) {
 			d.prof.track(pg)
 		}
 	}
-	d.stats.Allocs++
-	d.stats.AllocBytes += int64(r.Size)
+	st := d.st(node)
+	st.Allocs++
+	st.AllocBytes += int64(r.Size)
 	return r.Base, nil
 }
 
@@ -292,15 +361,24 @@ func (d *DSM) Free(base Addr) error { return d.alloc.Free(base) }
 // PageInfo reports the home node and protocol of a page, as recorded at
 // allocation time.
 func (d *DSM) PageInfo(pg Page) (home int, proto ProtoID, ok bool) {
-	pi, ok := d.allocInfo[pg]
+	pi, ok := d.dir.get(pg)
 	return pi.home, pi.proto, ok
 }
 
-// protoFor returns the protocol instance managing page pg.
+// protoFor returns the protocol instance managing page pg, from the
+// directory. Cold paths only — hot paths with a node in hand use protoAt.
 func (d *DSM) protoFor(pg Page) Protocol {
-	pi, ok := d.allocInfo[pg]
+	pi, ok := d.dir.get(pg)
 	if !ok {
 		panic(fmt.Sprintf("core: access to unallocated page %d", pg))
 	}
 	return d.instance(pi.proto)
+}
+
+// protoAt returns the protocol managing pg via node's page-table entry,
+// which caches the protocol id at creation: the fault/serve/invalidate hot
+// paths resolve their protocol from node-local state, never touching a
+// directory partition (let alone one owned by another shard's range).
+func (d *DSM) protoAt(node int, pg Page) Protocol {
+	return d.instance(d.Entry(node, pg).proto)
 }

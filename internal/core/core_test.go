@@ -373,7 +373,7 @@ func TestEntryCopysetOps(t *testing.T) {
 	e.AddCopyset(3)
 	e.AddCopyset(1)
 	e.AddCopyset(3) // dup ignored
-	if len(e.Copyset) != 2 || !e.InCopyset(1) || !e.InCopyset(3) || e.InCopyset(2) {
+	if e.Copyset.Len() != 2 || !e.InCopyset(1) || !e.InCopyset(3) || e.InCopyset(2) {
 		t.Fatalf("copyset = %v", e.Copyset)
 	}
 	e.RemoveCopyset(3)
@@ -382,11 +382,11 @@ func TestEntryCopysetOps(t *testing.T) {
 	}
 	e.AddCopyset(9)
 	e.AddCopyset(4)
-	got := e.TakeCopyset()
+	got := e.TakeCopyset().AppendTo(nil)
 	if len(got) != 3 || got[0] != 1 || got[1] != 4 || got[2] != 9 {
 		t.Fatalf("TakeCopyset = %v, want sorted [1 4 9]", got)
 	}
-	if len(e.Copyset) != 0 {
+	if !e.Copyset.Empty() {
 		t.Fatal("copyset not emptied")
 	}
 }

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"dsmpm2/internal/isomalloc"
+)
+
+// directory is the range-sharded page directory: the allocation-time
+// metadata (home node, managing protocol) that the flat allocInfo map used
+// to hold machine-globally. It applies the li_* distributed-manager idea to
+// our own metadata: a page's directory entry lives in the partition of the
+// node whose isomalloc slice contains it, so when the protocol layer runs
+// across host shards (pm2.Config.Shards > 1) each shard touches only the
+// partitions of the nodes it simulates on its hot paths — partitions are
+// never rehashed globally and a partition's lock is only ever contended by
+// genuine cross-range traffic. Partition 0 holds the static segment below
+// the first slice (isomalloc.OwnerSlice = -1); partition i+1 holds node i's
+// range.
+//
+// The mutexes are host-level concurrency protection only: they order
+// nothing in virtual time (directory reads and writes stay attached to the
+// simulation events that issue them), so Shards=1 behaviour is bit-for-bit
+// what the flat map produced.
+type directory struct {
+	alloc *isomalloc.Allocator
+	parts []dirPart
+}
+
+type dirPart struct {
+	mu    sync.RWMutex
+	pages map[Page]pageInfo
+}
+
+func newDirectory(alloc *isomalloc.Allocator, nodes int) *directory {
+	return &directory{alloc: alloc, parts: make([]dirPart, nodes+1)}
+}
+
+// part returns pg's partition: the slice owner's, or 0 for the static
+// segment. Pure address arithmetic — no shared state.
+func (dir *directory) part(pg Page) *dirPart {
+	return &dir.parts[dir.alloc.OwnerSlice(isomalloc.Addr(uint64(pg)*PageSize))+1]
+}
+
+// get returns pg's metadata.
+func (dir *directory) get(pg Page) (pageInfo, bool) {
+	p := dir.part(pg)
+	p.mu.RLock()
+	pi, ok := p.pages[pg]
+	p.mu.RUnlock()
+	return pi, ok
+}
+
+// set records pg's metadata (allocation, protocol switch, home migration,
+// recovery re-home, snapshot restore).
+func (dir *directory) set(pg Page, pi pageInfo) {
+	p := dir.part(pg)
+	p.mu.Lock()
+	if p.pages == nil {
+		p.pages = make(map[Page]pageInfo)
+	}
+	p.pages[pg] = pi
+	p.mu.Unlock()
+}
+
+// setHome updates just the home field, preserving the protocol.
+func (dir *directory) setHome(pg Page, home int) {
+	p := dir.part(pg)
+	p.mu.Lock()
+	pi := p.pages[pg]
+	pi.home = home
+	p.pages[pg] = pi
+	p.mu.Unlock()
+}
+
+// len reports the number of allocated pages across all partitions.
+func (dir *directory) len() int {
+	n := 0
+	for i := range dir.parts {
+		p := &dir.parts[i]
+		p.mu.RLock()
+		n += len(p.pages)
+		p.mu.RUnlock()
+	}
+	return n
+}
+
+// sortedPages returns every allocated page in ascending order: the
+// deterministic iteration order for recovery sweeps, snapshots, and
+// profiler tracking. Partitions are walked in slice order and each is
+// sorted locally; slices are disjoint address ranges, so the concatenation
+// is globally sorted.
+func (dir *directory) sortedPages() []Page {
+	out := make([]Page, 0, dir.len())
+	for i := range dir.parts {
+		p := &dir.parts[i]
+		p.mu.RLock()
+		start := len(out)
+		for pg := range p.pages {
+			out = append(out, pg)
+		}
+		p.mu.RUnlock()
+		part := out[start:]
+		sort.Slice(part, func(a, b int) bool { return part[a] < part[b] })
+	}
+	return out
+}
+
+// reset clears every partition (snapshot restore).
+func (dir *directory) reset() {
+	for i := range dir.parts {
+		p := &dir.parts[i]
+		p.mu.Lock()
+		p.pages = nil
+		p.mu.Unlock()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/bits"
 	"sort"
+	"sync/atomic"
 
 	"dsmpm2/internal/sim"
 )
@@ -67,17 +68,25 @@ func histBucketMax(i int) int64 {
 	return ((histSub + sub + 1) << exp) - 1
 }
 
-// Record adds one sample. Negative durations are clamped to zero.
+// Record adds one sample. Negative durations are clamped to zero. Record is
+// safe to call concurrently from different event-loop shards: every update is
+// a commutative atomic add (max is a CAS loop), so the final counts — and
+// therefore every quantile — are identical whatever the host interleaving.
+// Readers (Count, Quantile, Snapshot, capture) assume a quiescent histogram;
+// call them between runs, as with Stats.
 func (h *Histogram) Record(d sim.Duration) {
 	v := int64(d)
 	if v < 0 {
 		v = 0
 	}
-	h.counts[histBucketOf(v)]++
-	h.n++
-	h.sum += v
-	if v > h.max {
-		h.max = v
+	atomic.AddInt64(&h.counts[histBucketOf(v)], 1)
+	atomic.AddInt64(&h.n, 1)
+	atomic.AddInt64(&h.sum, v)
+	for {
+		m := atomic.LoadInt64(&h.max)
+		if v <= m || atomic.CompareAndSwapInt64(&h.max, m, v) {
+			return
+		}
 	}
 }
 
@@ -185,6 +194,8 @@ func (h *Histogram) restore(s HistogramState) error {
 // completion path. The histograms live outside Stats (they are too big to
 // copy on every Stats() call) but share its lifetime.
 func (d *DSM) OpHist(kind string) *Histogram {
+	d.histMu.Lock()
+	defer d.histMu.Unlock()
 	if d.opHists == nil {
 		d.opHists = make(map[string]*Histogram)
 	}
@@ -199,6 +210,8 @@ func (d *DSM) OpHist(kind string) *Histogram {
 // OpKinds returns the registered histogram kinds in sorted order, so reports
 // iterate deterministically.
 func (d *DSM) OpKinds() []string {
+	d.histMu.Lock()
+	defer d.histMu.Unlock()
 	out := make([]string, 0, len(d.opHists))
 	for k := range d.opHists {
 		out = append(out, k)

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"dsmpm2/internal/memory"
 	"dsmpm2/internal/pm2"
 	"dsmpm2/internal/sim"
@@ -117,15 +115,15 @@ func (d *DSM) serveMigrate(h *pm2.Thread, m *migMsg) {
 		return
 	}
 	h.Compute(d.costs.Server) // package the page, like any page serve
-	data := d.bufs.Get()
+	data := d.buf(node).Get()
 	copy(data, frame.Data)
 	access := frame.Access
-	copyset := make([]int, 0, len(e.Copyset))
-	for _, n := range e.Copyset {
+	copyset := make([]int, 0, e.Copyset.Len())
+	e.Copyset.ForEach(func(n int) {
 		if n != m.newHome {
 			copyset = append(copyset, n)
 		}
-	}
+	})
 	// The entry lock stays held across the whole install round trip: a
 	// concurrent server action (a non-participant thread's write fetch
 	// under an ownership-transferring protocol) must not move ownership
@@ -134,10 +132,11 @@ func (d *DSM) serveMigrate(h *pm2.Thread, m *migMsg) {
 	// demoted entry and forwards to the new home.
 
 	ack := new(sim.Chan)
-	d.stats.PageSends++
-	d.stats.PageBytes += PageSize
-	d.stats.Sends++
-	d.stats.Envelopes++
+	st := d.st(node)
+	st.PageSends++
+	st.PageBytes += PageSize
+	st.Sends++
+	st.Envelopes++
 	im := &migInstallMsg{
 		page: m.page, data: data, access: access, copyset: copyset,
 		from: node, reply: ack,
@@ -164,12 +163,12 @@ func (d *DSM) serveMigrate(h *pm2.Thread, m *migMsg) {
 			// Alive but silent (loss): re-send a fresh pooled copy — the
 			// install applies idempotently and a duplicate is discarded
 			// with its buffer reclaimed exactly once.
-			dup := d.bufs.Get()
+			dup := d.buf(node).Get()
 			copy(dup, data)
-			d.stats.PageSends++
-			d.stats.PageBytes += PageSize
-			d.stats.Sends++
-			d.stats.Envelopes++
+			st.PageSends++
+			st.PageBytes += PageSize
+			st.Sends++
+			st.Envelopes++
 			d.rt.AsyncFrom(node, m.newHome, svcMigrateInstall, &migInstallMsg{
 				page: m.page, data: dup, access: access, copyset: copyset,
 				from: node, reply: ack,
@@ -183,7 +182,7 @@ func (d *DSM) serveMigrate(h *pm2.Thread, m *migMsg) {
 	e.Owner = false
 	e.Home = m.newHome
 	e.ProbOwner = m.newHome
-	e.Copyset = nil
+	e.Copyset.Clear()
 	d.state[node].space.Drop(m.page)
 	e.Unlock(h)
 	d.replyDirect(node, m.from, m.reply, true)
@@ -202,7 +201,7 @@ func (d *DSM) serveMigrateInstall(h *pm2.Thread, m *migInstallMsg) {
 		// reference copy. Discard it — the pooled wire copy is reclaimed
 		// exactly once either way (nil guards the duplicated-delivery case,
 		// where a lossy link hands the same message to the handler twice).
-		d.bufs.Put(m.data)
+		d.buf(h.Node()).Put(m.data)
 		m.data = nil
 		return
 	}
@@ -211,7 +210,7 @@ func (d *DSM) serveMigrateInstall(h *pm2.Thread, m *migInstallMsg) {
 	e.Lock(h)
 	if e.Owner {
 		// Duplicate of an already-applied install.
-		d.bufs.Put(m.data)
+		d.buf(node).Put(m.data)
 		m.data = nil
 		e.Unlock(h)
 		d.replyDirect(node, m.from, m.reply, true)
@@ -220,20 +219,14 @@ func (d *DSM) serveMigrateInstall(h *pm2.Thread, m *migInstallMsg) {
 	h.Compute(d.costs.Install)
 	frame := d.state[node].space.Ensure(m.page)
 	copy(frame.Data, m.data)
-	d.bufs.Put(m.data)
+	d.buf(node).Put(m.data)
 	m.data = nil
 	frame.Access = m.access
 	e.Owner = true
 	e.Home = node
 	e.ProbOwner = node
-	cs := make([]int, 0, len(m.copyset))
-	for _, n := range m.copyset {
-		if n != node {
-			cs = append(cs, n)
-		}
-	}
-	sort.Ints(cs)
-	e.Copyset = cs
+	e.Copyset.FromSlice(m.copyset)
+	e.Copyset.Remove(node)
 	e.Unlock(h)
 	// Restore the protocol's home invariants here, exactly as a fresh
 	// allocation would (write-protection for the twin/diff protocols,
@@ -302,8 +295,9 @@ func (d *DSM) startMigration(h *pm2.Thread, pg Page, newHome int) *migFlight {
 	}
 	f.reply = new(sim.Chan)
 	f.m = &migMsg{page: pg, newHome: newHome, from: h.Node(), reply: f.reply}
-	d.stats.Sends++
-	d.stats.Envelopes++
+	st := d.st(h.Node())
+	st.Sends++
+	st.Envelopes++
 	d.rt.AsyncFrom(h.Node(), owner, svcMigrateHome, f.m, ctrlBytes)
 	return f
 }
@@ -335,17 +329,16 @@ func (d *DSM) finishMigration(h *pm2.Thread, f *migFlight) bool {
 				if d.NodeDead(f.owner) {
 					return false
 				}
-				d.stats.Sends++
-				d.stats.Envelopes++
+				st := d.st(h.Node())
+				st.Sends++
+				st.Envelopes++
 				d.rt.AsyncFrom(h.Node(), f.owner, svcMigrateHome, f.m, ctrlBytes)
 			}
 		}
 	}
-	pi := d.allocInfo[f.pg]
-	pi.home = f.newHome
-	d.allocInfo[f.pg] = pi
-	d.stats.HomeMigrations++
-	d.timings.Add(&FaultTiming{
+	d.dir.setHome(f.pg, f.newHome)
+	d.st(h.Node()).HomeMigrations++
+	d.tlog(h.Node()).Add(&FaultTiming{
 		Start:    f.start,
 		Protocol: "migrate_home",
 		Link:     d.rt.Link(f.owner, f.newHome).Name,

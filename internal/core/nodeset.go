@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// NodeSet is a set of node ids shaped for the forms copysets actually take
+// at scale. A 512-node read-shared page is one run of consecutive readers,
+// so the primary representation is run-length intervals: membership,
+// insertion and removal are O(log runs), and sweeping, serializing or
+// piggybacking the set costs O(runs), not O(N). A set that fragments past
+// nodeSetMaxRuns (alternating membership, adversarial churn) degrades into
+// a bitmap, bounding the per-op cost at O(N/64) words instead of letting
+// the run list grow without limit.
+//
+// Iteration order is always ascending node id — the same deterministic
+// order the previous sorted-slice representation guaranteed — so wire
+// traces and goldens are independent of how the set is represented
+// internally. The zero value is an empty set, ready to use.
+type NodeSet struct {
+	runs []nodeRun // sorted, disjoint, non-adjacent; unused when bits != nil
+	bits []uint64  // bitmap fallback once the run list fragments
+	n    int       // cardinality, maintained by every mutation
+}
+
+// nodeRun is one inclusive interval [lo, hi] of member node ids.
+type nodeRun struct {
+	lo, hi int32
+}
+
+// nodeSetMaxRuns is the fragmentation threshold: past this many runs the
+// set converts to its bitmap form. 32 runs cover every sane sharing
+// pattern; only adversarial alternating membership crosses it.
+const nodeSetMaxRuns = 32
+
+// Len reports the number of members.
+func (s NodeSet) Len() int { return s.n }
+
+// Empty reports whether the set has no members.
+func (s NodeSet) Empty() bool { return s.n == 0 }
+
+// Runs reports the current number of runs (0 in bitmap form): the metadata
+// cost of sweeping or serializing the set, surfaced for benchmarks.
+func (s NodeSet) Runs() int { return len(s.runs) }
+
+// Contains reports whether node is a member.
+func (s NodeSet) Contains(node int) bool {
+	if s.bits != nil {
+		w := node >> 6
+		return w < len(s.bits) && s.bits[w]&(1<<(uint(node)&63)) != 0
+	}
+	v := int32(node)
+	i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].hi >= v })
+	return i < len(s.runs) && s.runs[i].lo <= v
+}
+
+// Add inserts node (no-op if present).
+func (s *NodeSet) Add(node int) {
+	if node < 0 {
+		panic(fmt.Sprintf("core: negative node %d in NodeSet", node))
+	}
+	if s.bits != nil {
+		s.bitAdd(node)
+		return
+	}
+	v := int32(node)
+	// First run that could absorb v: its hi reaches at least v-1.
+	i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].hi >= v-1 })
+	if i < len(s.runs) && s.runs[i].lo-1 <= v {
+		r := &s.runs[i]
+		if r.lo <= v && v <= r.hi {
+			return // already a member
+		}
+		s.n++
+		if v == r.lo-1 {
+			// Extending lo cannot touch the previous run: the search
+			// guarantees runs[i-1].hi < v-1.
+			r.lo = v
+			return
+		}
+		r.hi = v
+		if i+1 < len(s.runs) && s.runs[i].hi+1 >= s.runs[i+1].lo {
+			s.runs[i].hi = s.runs[i+1].hi
+			s.runs = append(s.runs[:i+1], s.runs[i+2:]...)
+		}
+		return
+	}
+	s.n++
+	s.runs = append(s.runs, nodeRun{})
+	copy(s.runs[i+1:], s.runs[i:])
+	s.runs[i] = nodeRun{lo: v, hi: v}
+	if len(s.runs) > nodeSetMaxRuns {
+		s.toBits()
+	}
+}
+
+// AddRange inserts every node in [lo, hi] (inclusive).
+func (s *NodeSet) AddRange(lo, hi int) {
+	for n := lo; n <= hi; n++ {
+		s.Add(n)
+	}
+}
+
+// Remove deletes node (no-op if absent).
+func (s *NodeSet) Remove(node int) {
+	if s.bits != nil {
+		s.bitRemove(node)
+		return
+	}
+	v := int32(node)
+	i := sort.Search(len(s.runs), func(i int) bool { return s.runs[i].hi >= v })
+	if i >= len(s.runs) || s.runs[i].lo > v {
+		return
+	}
+	r := s.runs[i]
+	s.n--
+	switch {
+	case r.lo == v && r.hi == v:
+		s.runs = append(s.runs[:i], s.runs[i+1:]...)
+	case r.lo == v:
+		s.runs[i].lo = v + 1
+	case r.hi == v:
+		s.runs[i].hi = v - 1
+	default: // interior removal splits the run
+		s.runs = append(s.runs, nodeRun{})
+		copy(s.runs[i+1:], s.runs[i:])
+		s.runs[i] = nodeRun{lo: r.lo, hi: v - 1}
+		s.runs[i+1] = nodeRun{lo: v + 1, hi: r.hi}
+		if len(s.runs) > nodeSetMaxRuns {
+			s.toBits()
+		}
+	}
+}
+
+// Clear empties the set (and returns it to the interval representation).
+func (s *NodeSet) Clear() { *s = NodeSet{} }
+
+// Take returns the set's contents and empties the receiver — the NodeSet
+// analogue of the old TakeCopyset slice steal.
+func (s *NodeSet) Take() NodeSet {
+	out := *s
+	*s = NodeSet{}
+	return out
+}
+
+// Clone returns an independent copy.
+func (s NodeSet) Clone() NodeSet {
+	out := NodeSet{n: s.n}
+	if s.bits != nil {
+		out.bits = append([]uint64(nil), s.bits...)
+	} else {
+		out.runs = append([]nodeRun(nil), s.runs...)
+	}
+	return out
+}
+
+// Union adds every member of o.
+func (s *NodeSet) Union(o NodeSet) {
+	o.ForEach(func(n int) { s.Add(n) })
+}
+
+// ForEach calls fn for every member in ascending node order.
+func (s NodeSet) ForEach(fn func(node int)) {
+	if s.bits != nil {
+		for w, word := range s.bits {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				fn(w<<6 + b)
+				word &^= 1 << uint(b)
+			}
+		}
+		return
+	}
+	for _, r := range s.runs {
+		for v := r.lo; v <= r.hi; v++ {
+			fn(int(v))
+		}
+	}
+}
+
+// AppendTo appends the members to dst in ascending order — the sorted-slice
+// wire form snapshots and page messages have always carried.
+func (s NodeSet) AppendTo(dst []int) []int {
+	s.ForEach(func(n int) { dst = append(dst, n) })
+	return dst
+}
+
+// FromSlice replaces the contents with the given nodes (any order,
+// duplicates ignored).
+func (s *NodeSet) FromSlice(nodes []int) {
+	s.Clear()
+	for _, n := range nodes {
+		s.Add(n)
+	}
+}
+
+// String renders the set exactly like the sorted []int it replaced, so
+// diagnostics and test failure messages keep their historical shape.
+func (s NodeSet) String() string { return fmt.Sprint(s.AppendTo(nil)) }
+
+// toBits converts the run representation to the bitmap fallback.
+func (s *NodeSet) toBits() {
+	max := int32(0)
+	for _, r := range s.runs {
+		if r.hi > max {
+			max = r.hi
+		}
+	}
+	s.bits = make([]uint64, int(max)>>6+1)
+	for _, r := range s.runs {
+		for v := r.lo; v <= r.hi; v++ {
+			s.bits[v>>6] |= 1 << (uint(v) & 63)
+		}
+	}
+	s.runs = nil
+}
+
+// bitAdd inserts node into the bitmap form, growing it as needed. An add
+// that bridges two runs (both neighbours already present) is the moment
+// fragmentation can heal, so it triggers a run count and — with hysteresis,
+// to avoid thrashing at the threshold — a conversion back to the compact
+// run form. A scrambled arrival order that ends read-shared-by-everyone
+// therefore settles into one run, not a permanent bitmap.
+func (s *NodeSet) bitAdd(node int) {
+	w := node >> 6
+	for w >= len(s.bits) {
+		s.bits = append(s.bits, 0)
+	}
+	m := uint64(1) << (uint(node) & 63)
+	if s.bits[w]&m != 0 {
+		return
+	}
+	s.bits[w] |= m
+	s.n++
+	if node > 0 && s.Contains(node-1) && s.Contains(node+1) &&
+		s.bitRuns() <= nodeSetMaxRuns/2 {
+		s.toRuns()
+	}
+}
+
+// bitRuns counts the runs in the bitmap form: 0→1 transitions across the
+// word array, carrying the previous word's top bit.
+func (s *NodeSet) bitRuns() int {
+	runs := 0
+	prevTop := false
+	for _, word := range s.bits {
+		starts := word &^ (word << 1)
+		if prevTop {
+			starts &^= 1
+		}
+		runs += bits.OnesCount64(starts)
+		prevTop = word>>63 != 0
+	}
+	return runs
+}
+
+// toRuns converts the bitmap form back to the run representation; the
+// caller guarantees the run count fits.
+func (s *NodeSet) toRuns() {
+	b := s.bits
+	s.bits = nil
+	s.runs = s.runs[:0]
+	bit := func(v int32) bool {
+		return int(v)>>6 < len(b) && b[v>>6]&(1<<(uint(v)&63)) != 0
+	}
+	var lo int32 = -1
+	for w, word := range b {
+		for word != 0 {
+			v := int32(w<<6 + bits.TrailingZeros64(word))
+			word &^= 1 << (uint(v) & 63)
+			if lo < 0 {
+				lo = v
+			}
+			if !bit(v + 1) { // run ends here
+				s.runs = append(s.runs, nodeRun{lo: lo, hi: v})
+				lo = -1
+			}
+		}
+	}
+}
+
+// bitRemove deletes node from the bitmap form.
+func (s *NodeSet) bitRemove(node int) {
+	w := node >> 6
+	if w >= len(s.bits) {
+		return
+	}
+	m := uint64(1) << (uint(node) & 63)
+	if s.bits[w]&m != 0 {
+		s.bits[w] &^= m
+		s.n--
+	}
+}

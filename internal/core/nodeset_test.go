@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// refSet is the sorted-[]int reference model NodeSet replaced; the property
+// tests below drive both through random op sequences and require identical
+// observable behaviour at every step.
+type refSet map[int]bool
+
+func (r refSet) add(n int)           { r[n] = true }
+func (r refSet) remove(n int)        { delete(r, n) }
+func (r refSet) contains(n int) bool { return r[n] }
+func (r refSet) sorted() []int {
+	out := make([]int, 0, len(r))
+	for n := range r {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// checkAgainst fails the test if s and ref disagree on any observable.
+func checkAgainst(t *testing.T, s *NodeSet, ref refSet, ctx string) {
+	t.Helper()
+	want := ref.sorted()
+	got := s.AppendTo(nil)
+	if len(got) == 0 {
+		got = nil
+	}
+	if len(want) == 0 {
+		want = nil
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: AppendTo = %v, want %v", ctx, got, want)
+	}
+	if s.Len() != len(want) {
+		t.Fatalf("%s: Len = %d, want %d", ctx, s.Len(), len(want))
+	}
+	if s.Empty() != (len(want) == 0) {
+		t.Fatalf("%s: Empty = %v with %d members", ctx, s.Empty(), len(want))
+	}
+}
+
+// TestNodeSetPropertyVsReference drives NodeSet and the sorted-slice
+// reference through identical random add/remove sequences — several RNG
+// seeds, one with a node universe small enough to force dense runs and one
+// fragmented enough (alternating parity) to cross the bitmap threshold —
+// and spot-checks membership over the whole universe after every batch.
+func TestNodeSetPropertyVsReference(t *testing.T) {
+	for _, tc := range []struct {
+		seed     int64
+		universe int
+		ops      int
+	}{
+		{seed: 1, universe: 16, ops: 400},    // dense, few runs
+		{seed: 2, universe: 600, ops: 2000},  // sparse at 512-node scale
+		{seed: 3, universe: 200, ops: 3000},  // heavy churn, forces bitmap
+		{seed: 4, universe: 70, ops: 1500},   // mid-size, interior splits
+		{seed: 5, universe: 4096, ops: 1200}, // wide universe, long runs via ranges
+	} {
+		tc := tc
+		t.Run(fmt.Sprintf("seed%d_u%d", tc.seed, tc.universe), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(tc.seed))
+			var s NodeSet
+			ref := refSet{}
+			for i := 0; i < tc.ops; i++ {
+				n := rng.Intn(tc.universe)
+				switch op := rng.Intn(10); {
+				case op < 5:
+					s.Add(n)
+					ref.add(n)
+				case op < 8:
+					s.Remove(n)
+					ref.remove(n)
+				default: // range insert: the common copyset growth pattern
+					hi := n + rng.Intn(8)
+					s.AddRange(n, hi)
+					for v := n; v <= hi; v++ {
+						ref.add(v)
+					}
+				}
+				if s.Contains(n) != ref.contains(n) {
+					t.Fatalf("op %d: Contains(%d) = %v, ref %v", i, n, s.Contains(n), ref.contains(n))
+				}
+				if i%97 == 0 {
+					checkAgainst(t, &s, ref, fmt.Sprintf("op %d", i))
+				}
+			}
+			checkAgainst(t, &s, ref, "final")
+			// Membership across the whole universe, including non-members.
+			for n := 0; n < tc.universe; n++ {
+				if s.Contains(n) != ref.contains(n) {
+					t.Fatalf("final: Contains(%d) = %v, ref %v", n, s.Contains(n), ref.contains(n))
+				}
+			}
+		})
+	}
+}
+
+// TestNodeSetUnion checks Union against the reference on random pairs,
+// mixing run-form and bitmap-form operands.
+func TestNodeSetUnion(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var a, b NodeSet
+		ra, rb := refSet{}, refSet{}
+		for i := 0; i < rng.Intn(120); i++ {
+			n := rng.Intn(300)
+			if rng.Intn(4) == 0 {
+				n = rng.Intn(300) * 2 // even-only stretches fragment a
+			}
+			a.Add(n)
+			ra.add(n)
+		}
+		for i := 0; i < rng.Intn(120); i++ {
+			n := rng.Intn(300)
+			b.Add(n)
+			rb.add(n)
+		}
+		a.Union(b)
+		for n := range rb {
+			ra.add(n)
+		}
+		checkAgainst(t, &a, ra, fmt.Sprintf("trial %d union", trial))
+		checkAgainst(t, &b, rb, fmt.Sprintf("trial %d operand b untouched", trial))
+	}
+}
+
+// TestNodeSetSnapshotRoundTrip pins the wire form: AppendTo must emit the
+// exact sorted slice snapshots have always carried, and FromSlice must
+// rebuild an equivalent set from it (in any input order, with duplicates).
+func TestNodeSetSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		var s NodeSet
+		ref := refSet{}
+		for i := 0; i < rng.Intn(200); i++ {
+			n := rng.Intn(512)
+			s.Add(n)
+			ref.add(n)
+		}
+		wire := s.AppendTo(nil)
+		if !sort.IntsAreSorted(wire) {
+			t.Fatalf("trial %d: wire form not sorted: %v", trial, wire)
+		}
+		// Shuffle and duplicate some members before rebuilding: custom
+		// protocols may assemble wire copysets by hand.
+		scrambled := append([]int(nil), wire...)
+		scrambled = append(scrambled, wire...)
+		rng.Shuffle(len(scrambled), func(i, j int) {
+			scrambled[i], scrambled[j] = scrambled[j], scrambled[i]
+		})
+		var back NodeSet
+		back.FromSlice(scrambled)
+		checkAgainst(t, &back, ref, fmt.Sprintf("trial %d round trip", trial))
+	}
+}
+
+// TestNodeSetBitmapCrossing forces the run list past nodeSetMaxRuns with
+// alternating membership and checks behaviour stays identical across the
+// representation switch, including Take and Clone.
+func TestNodeSetBitmapCrossing(t *testing.T) {
+	var s NodeSet
+	ref := refSet{}
+	for n := 0; n < 4*nodeSetMaxRuns; n += 2 {
+		s.Add(n)
+		ref.add(n)
+	}
+	if s.Runs() != 0 {
+		t.Fatalf("Runs = %d after %d alternating adds, want bitmap form (0)", s.Runs(), 2*nodeSetMaxRuns)
+	}
+	checkAgainst(t, &s, ref, "after crossing")
+
+	cl := s.Clone()
+	cl.Add(1)
+	if s.Contains(1) {
+		t.Fatal("Clone shares storage with the original")
+	}
+
+	taken := s.Take()
+	if !s.Empty() || s.Len() != 0 {
+		t.Fatal("Take left members behind")
+	}
+	checkAgainst(t, &taken, ref, "taken set")
+
+	// The emptied receiver returns to the compact run representation.
+	s.Add(3)
+	if s.Runs() != 1 || !s.Contains(3) {
+		t.Fatalf("emptied set reuse: Runs=%d Contains(3)=%v", s.Runs(), s.Contains(3))
+	}
+}
+
+// TestNodeSetRunCoalescing pins the O(runs) promise for the common shapes:
+// a 512-node read-shared page is one run however its members arrive.
+func TestNodeSetRunCoalescing(t *testing.T) {
+	var s NodeSet
+	// Insert 0..511 in a scrambled order; the runs must coalesce to one.
+	rng := rand.New(rand.NewSource(13))
+	perm := rng.Perm(512)
+	for _, n := range perm {
+		s.Add(n)
+	}
+	if s.Runs() != 1 || s.Len() != 512 {
+		t.Fatalf("512 contiguous members: Runs=%d Len=%d, want 1 run", s.Runs(), s.Len())
+	}
+	// Punch one hole: exactly two runs.
+	s.Remove(100)
+	if s.Runs() != 2 || s.Contains(100) {
+		t.Fatalf("after interior remove: Runs=%d, want 2", s.Runs())
+	}
+	// Refill the hole: back to one.
+	s.Add(100)
+	if s.Runs() != 1 {
+		t.Fatalf("after refill: Runs=%d, want 1", s.Runs())
+	}
+}
+
+// TestNodeSetStringForm pins the diagnostic rendering to the sorted-slice
+// shape test-failure messages have always shown.
+func TestNodeSetStringForm(t *testing.T) {
+	var s NodeSet
+	for _, n := range []int{9, 1, 4} {
+		s.Add(n)
+	}
+	if got := fmt.Sprintf("%v", s); got != "[1 4 9]" {
+		t.Fatalf("String = %q, want %q", got, "[1 4 9]")
+	}
+	var empty NodeSet
+	if got := fmt.Sprintf("%v", empty); got != "[]" {
+		t.Fatalf("empty String = %q, want %q", got, "[]")
+	}
+}
+
+// TestNodeSetNegativePanics pins the contract that node ids are never
+// negative (slice -1 metadata is directory-side, not copyset-side).
+func TestNodeSetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	var s NodeSet
+	s.Add(-1)
+}

@@ -219,12 +219,13 @@ func (b *Batch) Flush(wait bool) {
 				Arg:  &diffMsgWire{from: b.node, diffs: []*memory.Diff{df}, noticed: db.noticed[i]},
 				Size: ctrlBytes + df.Size(),
 			})
-			d.stats.DiffBytes += int64(ctrlBytes + df.Size())
+			d.st(b.node).DiffBytes += int64(ctrlBytes + df.Size())
 		}
-		d.stats.Invalidations += int64(len(db.invs))
-		d.stats.DiffsSent += int64(len(db.diffs))
-		d.stats.Sends += int64(len(f.elems))
-		d.stats.Envelopes++
+		st := d.st(b.node)
+		st.Invalidations += int64(len(db.invs))
+		st.DiffsSent += int64(len(db.diffs))
+		st.Sends += int64(len(f.elems))
+		st.Envelopes++
 		if wait {
 			f.reply = d.rt.StartVecFrom(b.node, dest, f.elems, ctrlBytes)
 			flights = append(flights, f)
@@ -246,13 +247,13 @@ func (b *Batch) waitFlight(f *batchFlight) {
 	d, t := b.d, b.t
 	if d.recovery == nil {
 		f.reply.Recv(t.Proc())
-		d.stats.InvAcks += int64(f.acks)
+		d.st(b.node).InvAcks += int64(f.acks)
 		return
 	}
 	attempt := 0
 	for {
 		if _, ok := f.reply.RecvTimeout(t.Proc(), d.recovery.retryDelay(attempt)); ok {
-			d.stats.InvAcks += int64(f.acks)
+			d.st(b.node).InvAcks += int64(f.acks)
 			return
 		}
 		attempt++
@@ -263,10 +264,11 @@ func (b *Batch) waitFlight(f *batchFlight) {
 			// envelope — invalidations and diffs apply idempotently, and a
 			// late first reply just lingers unread. Counted like any other
 			// shipment, mirroring the unbatched retry path's accounting.
-			d.stats.Invalidations += int64(f.acks)
-			d.stats.DiffsSent += int64(len(f.diffs))
-			d.stats.Sends += int64(len(f.elems))
-			d.stats.Envelopes++
+			st := d.st(b.node)
+			st.Invalidations += int64(f.acks)
+			st.DiffsSent += int64(len(f.diffs))
+			st.Sends += int64(len(f.elems))
+			st.Envelopes++
 			f.reply = d.rt.StartVecFrom(b.node, f.dest, f.elems, ctrlBytes)
 			continue
 		}
@@ -317,7 +319,7 @@ func (b *Batch) flushUnbatched(order []int, wait bool) {
 	if d.recovery == nil {
 		for i := 0; i < acks; i++ {
 			ack.Recv(t.Proc())
-			d.stats.InvAcks++
+			d.st(b.node).InvAcks++
 		}
 	} else {
 		attempt := 0
@@ -327,7 +329,7 @@ func (b *Batch) flushUnbatched(order []int, wait bool) {
 				if a, isAck := v.(invAck); isAck {
 					if _, pending := outstanding[a]; pending {
 						delete(outstanding, a)
-						d.stats.InvAcks++
+						d.st(b.node).InvAcks++
 					}
 				}
 				continue
@@ -394,7 +396,7 @@ func (d *DSM) QueueWriteNotice(t *pm2.Thread, barrier int, pg Page) {
 		ns.notices = make(map[int][]WriteNotice)
 	}
 	ns.notices[barrier] = append(ns.notices[barrier], WriteNotice{Page: pg, Writer: t.Node()})
-	d.stats.Notices++
+	d.st(t.Node()).Notices++
 }
 
 // takeNotices drains the write notices a node queued for one barrier, in
@@ -473,7 +475,7 @@ func (d *DSM) applyNotice(t *pm2.Thread, pg Page, ws []WriteNotice) {
 	}
 	e.InvalSeq++
 	e.Unlock(t)
-	d.protoFor(pg).InvalidateServer(&Invalidate{
+	d.instance(e.proto).InvalidateServer(&Invalidate{
 		DSM: d, Thread: t, Node: node, Page: pg,
 		From: ws[0].Writer, NewOwner: -1,
 	})

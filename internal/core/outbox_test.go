@@ -216,7 +216,9 @@ func TestInvalidateCopiesBatched(t *testing.T) {
 		pg := d.Space(0).PageOf(base)
 		rt.CreateThread(0, "writer", func(th *pm2.Thread) {
 			// Copyset includes self (0) and the new owner (2): both skipped.
-			InvalidateCopiesBatched(d, th, pg, []int{0, 1, 2, 3}, 2)
+			var cs NodeSet
+			cs.AddRange(0, 3)
+			InvalidateCopiesBatched(d, th, pg, cs, 2)
 		})
 		if err := rt.Run(); err != nil {
 			t.Fatal(err)

@@ -28,13 +28,14 @@ type Entry struct {
 	// Owner reports whether this node currently owns the page.
 	Owner bool
 
-	// Copyset lists the nodes holding read copies, kept sorted ascending
-	// (AddCopyset inserts in place, so membership tests binary-search
-	// instead of scanning — large-copyset invalidation sweeps would
-	// otherwise go quadratic). It is meaningful on the owner (dynamic
-	// managers) or home (home-based protocols). Code that assigns the
-	// slice directly must preserve the sorted invariant.
-	Copyset []int
+	// Copyset records the nodes holding read copies as a run-length
+	// interval set (bitmap fallback for fragmented sets), so a 512-node
+	// read-shared page costs O(runs) — not O(N) — to sweep, serialize and
+	// piggyback. Iteration is always ascending node id, the same
+	// deterministic order the earlier sorted-slice representation gave.
+	// It is meaningful on the owner (dynamic managers) or home
+	// (home-based protocols).
+	Copyset NodeSet
 
 	// Pending marks a fetch in flight from this node, so concurrent
 	// faulting threads coalesce onto one request instead of each sending
@@ -62,6 +63,12 @@ type Entry struct {
 	// retry, so the sequence is always current there.
 	reqSeq uint64
 
+	// proto caches the managing protocol's id from the directory at entry
+	// creation, so the fault/serve hot paths resolve their protocol from
+	// node-local state (see protoAt). SwitchProtocol rewrites it on every
+	// node's entry alongside the directory.
+	proto ProtoID
+
 	mu   sim.Mutex
 	cond *sim.Cond
 }
@@ -72,6 +79,7 @@ func newEntry(pg Page, pi pageInfo) *Entry {
 		Page:      pg,
 		ProbOwner: pi.home,
 		Home:      pi.home,
+		proto:     pi.proto,
 	}
 	e.cond = sim.NewCond(&e.mu)
 	return e
@@ -84,7 +92,7 @@ func (d *DSM) Entry(node int, pg Page) *Entry {
 	if e, ok := ns.table[pg]; ok {
 		return e
 	}
-	pi, ok := d.allocInfo[pg]
+	pi, ok := d.dir.get(pg)
 	if !ok {
 		panic("core: page table entry requested for unallocated page")
 	}
@@ -123,37 +131,18 @@ func (e *Entry) WaitTimeout(t *pm2.Thread, d sim.Duration) bool {
 func (e *Entry) Broadcast() { e.cond.Broadcast() }
 
 // InCopyset reports whether node is recorded in the copyset.
-func (e *Entry) InCopyset(node int) bool {
-	i := sort.SearchInts(e.Copyset, node)
-	return i < len(e.Copyset) && e.Copyset[i] == node
-}
+func (e *Entry) InCopyset(node int) bool { return e.Copyset.Contains(node) }
 
-// AddCopyset inserts node into the copyset if absent, keeping it sorted.
-func (e *Entry) AddCopyset(node int) {
-	i := sort.SearchInts(e.Copyset, node)
-	if i < len(e.Copyset) && e.Copyset[i] == node {
-		return
-	}
-	e.Copyset = append(e.Copyset, 0)
-	copy(e.Copyset[i+1:], e.Copyset[i:])
-	e.Copyset[i] = node
-}
+// AddCopyset inserts node into the copyset if absent.
+func (e *Entry) AddCopyset(node int) { e.Copyset.Add(node) }
 
 // RemoveCopyset deletes node from the copyset.
-func (e *Entry) RemoveCopyset(node int) {
-	i := sort.SearchInts(e.Copyset, node)
-	if i < len(e.Copyset) && e.Copyset[i] == node {
-		e.Copyset = append(e.Copyset[:i], e.Copyset[i+1:]...)
-	}
-}
+func (e *Entry) RemoveCopyset(node int) { e.Copyset.Remove(node) }
 
-// TakeCopyset empties the copyset and returns its former contents, already
-// sorted (the insertion invariant) for deterministic invalidation order.
-func (e *Entry) TakeCopyset() []int {
-	cs := e.Copyset
-	e.Copyset = nil
-	return cs
-}
+// TakeCopyset empties the copyset and returns its former contents;
+// iteration over the returned set is ascending, the deterministic
+// invalidation order the old sorted slice guaranteed.
+func (e *Entry) TakeCopyset() NodeSet { return e.Copyset.Take() }
 
 // PagesOn returns the pages node currently has table entries for, sorted.
 // Protocol release hooks use it to sweep per-node state deterministically.

@@ -188,7 +188,7 @@ func (d *DSM) EnableProfiler(cfg ProfilerConfig) {
 		nodes: d.rt.Nodes(),
 		pages: make(map[Page]*pageProfile),
 	}
-	for pg := range d.allocInfo {
+	for _, pg := range d.dir.sortedPages() {
 		d.prof.track(pg)
 	}
 	// The migration services spawn per-node dispatcher threads; registering
@@ -277,7 +277,7 @@ func (d *DSM) profFault(node int, pg Page, write bool) {
 // exists to remove.
 func (d *DSM) profFetch(node int, pg Page, dest int) {
 	if dest != node {
-		d.stats.RemoteFetches++
+		d.st(node).RemoteFetches++
 	}
 	if d.prof == nil {
 		return
@@ -287,8 +287,8 @@ func (d *DSM) profFetch(node int, pg Page, dest int) {
 		return
 	}
 	pp.counts[node].fetches++
-	if pp.pref == node && d.allocInfo[pg].home != node {
-		d.stats.MisplacedFetches++
+	if pi, ok := d.dir.get(pg); ok && pp.pref == node && pi.home != node {
+		d.st(node).MisplacedFetches++
 	}
 }
 
@@ -405,8 +405,8 @@ func (d *DSM) foldEpoch() (EpochProfile, []migCandidate) {
 		for n := range pp.counts {
 			pp.counts[n] = pageCounters{}
 		}
-		if p.cfg.Migrate && migratable(class) && writer >= 0 &&
-			pp.stable >= p.cfg.Stability && d.allocInfo[pg].home != writer {
+		if pi, ok := d.dir.get(pg); ok && p.cfg.Migrate && migratable(class) &&
+			writer >= 0 && pp.stable >= p.cfg.Stability && pi.home != writer {
 			cands = append(cands, migCandidate{pg: pg, writer: writer})
 		}
 	}

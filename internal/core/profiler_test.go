@@ -227,7 +227,7 @@ func TestHomeMigrationMovesPage(t *testing.T) {
 			}
 			e.AddCopyset(r.From)
 			r.DSM.Space(r.Node).SetAccess(r.Page, memory.ReadOnly)
-			SendPage(r, e, r.From, memory.ReadOnly, false, nil)
+			SendPage(r, e, r.From, memory.ReadOnly, false, NodeSet{})
 			e.Unlock(r.Thread)
 		},
 		OnWriteServer: func(r *Request) {
@@ -238,7 +238,7 @@ func TestHomeMigrationMovesPage(t *testing.T) {
 			}
 			cs := e.TakeCopyset()
 			InvalidateCopies(r.DSM, r.Thread, r.Page, cs, r.From)
-			SendPage(r, e, r.From, memory.ReadWrite, true, nil)
+			SendPage(r, e, r.From, memory.ReadWrite, true, NodeSet{})
 			e.Owner = false
 			e.ProbOwner = r.From
 			r.DSM.Space(r.Node).Drop(r.Page)

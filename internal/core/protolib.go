@@ -139,7 +139,7 @@ func ForwardRequestTo(r *Request, dest int) {
 // If ownship is true, page ownership (and the copyset) transfer with the
 // page. Charges the owner-side request-processing cost on this node's CPU.
 // Call with the entry lock held.
-func SendPage(r *Request, e *Entry, dest int, access memory.Access, ownship bool, copyset []int) {
+func SendPage(r *Request, e *Entry, dest int, access memory.Access, ownship bool, copyset NodeSet) {
 	d, t := r.DSM, r.Thread
 	t.Compute(d.costs.Server)
 	if r.Timing != nil {
@@ -151,7 +151,7 @@ func SendPage(r *Request, e *Entry, dest int, access memory.Access, ownship bool
 			r.Node, e.Page, r.From))
 	}
 	// The wire copy is pooled; InstallPage returns it once installed.
-	data := d.bufs.Get()
+	data := d.buf(r.Node).Get()
 	copy(data, frame.Data)
 	owner := r.Node
 	if ownship {
@@ -164,7 +164,7 @@ func SendPage(r *Request, e *Entry, dest int, access memory.Access, ownship bool
 		access:  access,
 		owner:   owner,
 		ownship: ownship,
-		copyset: copyset,
+		copyset: copyset.AppendTo(nil),
 		seq:     r.Seq,
 		timing:  r.Timing,
 	})
@@ -187,7 +187,7 @@ func InstallPage(pm *PageMsg) {
 		// satisfied): its data may predate writes the current owner has
 		// accepted. Discard it; the outstanding fetch, if any, stays
 		// pending and its own response will complete it.
-		d.bufs.Put(pm.Data)
+		d.buf(pm.Node).Put(pm.Data)
 		pm.Data = nil
 		e.Unlock(t)
 		return
@@ -198,7 +198,7 @@ func InstallPage(pm *PageMsg) {
 		// Drop it and let the faulting threads refault and refetch.
 		// Ownership transfers are exempt: the previous owner serialized
 		// the granting write after any invalidation it sent us.
-		d.bufs.Put(pm.Data)
+		d.buf(pm.Node).Put(pm.Data)
 		pm.Data = nil
 		e.Pending = false
 		e.Broadcast()
@@ -208,17 +208,16 @@ func InstallPage(pm *PageMsg) {
 	space := d.state[pm.Node].space
 	frame := space.Ensure(pm.Page)
 	copy(frame.Data, pm.Data)
-	d.bufs.Put(pm.Data) // wire copy was pooled by SendPage; recycle it
+	d.buf(pm.Node).Put(pm.Data) // wire copy was pooled by SendPage; recycle it
 	pm.Data = nil
 	frame.Access = pm.Access
 	e.ProbOwner = pm.Owner
 	if pm.Ownship {
 		e.Owner = true
-		// Restore the sorted copyset invariant: the wire slice is sorted
-		// when it comes from TakeCopyset, but custom protocols may have
-		// assembled it by hand.
-		e.Copyset = append([]int(nil), pm.Copyset...)
-		sort.Ints(e.Copyset)
+		// The wire form stays a plain []int (sorted when it comes from
+		// TakeCopyset, arbitrary from custom protocols); FromSlice sorts
+		// and deduplicates while rebuilding the interval set.
+		e.Copyset.FromSlice(pm.Copyset)
 	}
 	e.Pending = false
 	e.Broadcast()
@@ -233,39 +232,39 @@ func InstallPage(pm *PageMsg) {
 // tracked per node, and a timeout re-checks for crashes and re-sends to the
 // remaining holders (invalidations are idempotent), so a holder dying
 // mid-invalidation cannot wedge the writer forever.
-func InvalidateCopies(d *DSM, t *pm2.Thread, pg Page, copyset []int, newOwner int) {
+func InvalidateCopies(d *DSM, t *pm2.Thread, pg Page, copyset NodeSet, newOwner int) {
 	if d.recovery == nil {
 		acks := 0
 		ack := new(sim.Chan)
-		for _, n := range copyset {
+		copyset.ForEach(func(n int) {
 			if n == t.Node() || n == newOwner {
-				continue
+				return
 			}
 			d.sendInvalidate(t.Node(), n, &invMsg{page: pg, from: t.Node(), newOwner: newOwner, ack: ack})
 			acks++
-		}
+		})
 		for i := 0; i < acks; i++ {
 			ack.Recv(t.Proc())
-			d.stats.InvAcks++
+			d.st(t.Node()).InvAcks++
 		}
 		return
 	}
 	ack := new(sim.Chan)
 	outstanding := make(map[int]bool)
-	for _, n := range copyset {
+	copyset.ForEach(func(n int) {
 		if n == t.Node() || n == newOwner || d.NodeDead(n) {
-			continue
+			return
 		}
 		d.sendInvalidate(t.Node(), n, &invMsg{page: pg, from: t.Node(), newOwner: newOwner, ack: ack})
 		outstanding[n] = true
-	}
+	})
 	attempt := 0
 	for len(outstanding) > 0 {
 		v, ok := ack.RecvTimeout(t.Proc(), d.recovery.retryDelay(attempt))
 		if ok {
 			if a, isAck := v.(invAck); isAck && outstanding[a.node] {
 				delete(outstanding, a.node)
-				d.stats.InvAcks++
+				d.st(t.Node()).InvAcks++
 			}
 			continue
 		}
@@ -292,14 +291,13 @@ func InvalidateCopies(d *DSM, t *pm2.Thread, pg Page, copyset []int, newOwner in
 // wire pattern). Blocks until every holder acknowledged. Protocols that
 // invalidate several pages in one release get more out of queueing into a
 // shared Batch directly — this is the single-page convenience.
-func InvalidateCopiesBatched(d *DSM, t *pm2.Thread, pg Page, copyset []int, newOwner int) {
+func InvalidateCopiesBatched(d *DSM, t *pm2.Thread, pg Page, copyset NodeSet, newOwner int) {
 	b := d.NewBatch(t)
-	for _, n := range copyset {
-		if n == newOwner {
-			continue // Batch.Invalidate already skips self
+	copyset.ForEach(func(n int) {
+		if n != newOwner { // Batch.Invalidate already skips self
+			b.Invalidate(n, pg, newOwner)
 		}
-		b.Invalidate(n, pg, newOwner)
-	}
+	})
 	b.Flush(true)
 }
 
@@ -349,12 +347,13 @@ func MigrateToOwner(f *Fault) {
 	e.Lock(t)
 	dest := e.ProbOwner
 	e.Unlock(t)
+	src := t.Node()
 	start := t.Now()
 	t.MigrateTo(dest)
 	if f.Timing != nil {
 		f.Timing.Migration = t.Now().Sub(start)
 	}
-	d.CountMigration()
+	d.CountMigration(src)
 }
 
 // twinData is the ProtoData payload used by multiple-writer protocols.
@@ -376,7 +375,7 @@ func EnsureTwin(d *DSM, node int, e *Entry) {
 		if frame == nil {
 			panic("core: EnsureTwin without a local copy")
 		}
-		td.twin = d.bufs.MakeTwin(frame.Data)
+		td.twin = d.buf(node).MakeTwin(frame.Data)
 	}
 }
 
@@ -396,12 +395,12 @@ func TwinDiff(d *DSM, node int, e *Entry) *memory.Diff {
 	}
 	frame := d.state[node].space.Frame(e.Page)
 	if frame == nil {
-		d.bufs.Put(td.twin)
+		d.buf(node).Put(td.twin)
 		td.twin = nil
 		return nil
 	}
 	diff := memory.ComputeDiff(e.Page, td.twin, frame.Data, d.costs.DiffGap)
-	d.bufs.Put(td.twin) // twin came from the pool; recycle it
+	d.buf(node).Put(td.twin) // twin came from the pool; recycle it
 	td.twin = nil
 	if diff.Empty() {
 		return nil

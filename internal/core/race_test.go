@@ -29,7 +29,7 @@ func (p *fetcherProto) ReadServer(r *Request) {
 	e := p.d.Entry(r.Node, r.Page)
 	e.Lock(r.Thread)
 	e.AddCopyset(r.From)
-	SendPage(r, e, r.From, memory.ReadOnly, false, nil)
+	SendPage(r, e, r.From, memory.ReadOnly, false, NodeSet{})
 	e.Unlock(r.Thread)
 }
 func (p *fetcherProto) WriteServer(r *Request) { p.ReadServer(r) }

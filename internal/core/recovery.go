@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"dsmpm2/internal/memory"
 	"dsmpm2/internal/sim"
@@ -273,14 +272,7 @@ func (d *DSM) RestartNode(n int) {
 
 // sortedPages returns every allocated page in ascending order: the
 // deterministic sweep order of the recovery passes.
-func (d *DSM) sortedPages() []Page {
-	pages := make([]Page, 0, len(d.allocInfo))
-	for pg := range d.allocInfo {
-		pages = append(pages, pg)
-	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-	return pages
-}
+func (d *DSM) sortedPages() []Page { return d.dir.sortedPages() }
 
 // rehomePages repairs the page manager after node n died: pages homed or
 // owned there move to the freshest surviving replica, and every surviving
@@ -289,7 +281,7 @@ func (d *DSM) rehomePages(n int) {
 	rec := d.recovery
 	deadState := d.state[n]
 	for _, pg := range d.sortedPages() {
-		pi := d.allocInfo[pg]
+		pi, _ := d.dir.get(pg)
 		deadEntry := deadState.table[pg]
 		ownerDied := deadEntry != nil && deadEntry.Owner
 		homeDied := pi.home == n
@@ -331,7 +323,7 @@ func (d *DSM) rehomePages(n int) {
 			}
 		}
 		pi.home = best
-		d.allocInfo[pg] = pi
+		d.dir.set(pg, pi)
 		e := d.Entry(best, pg)
 		if lost {
 			frame := d.state[best].space.Ensure(pg)
@@ -357,16 +349,15 @@ func (d *DSM) rehomePages(n int) {
 		// re-homed page's later writes would never generate diffs, notices
 		// or invalidations, leaving third-party copies stale forever.
 		d.reinitHome(pg, best)
-		var copyset []int
+		e.Copyset.Clear()
 		for i := 0; i < d.rt.Nodes(); i++ {
 			if i == best || rec.dead[i] {
 				continue
 			}
 			if frame := d.state[i].space.Frame(pg); frame != nil && frame.Access >= memory.ReadOnly {
-				copyset = append(copyset, i)
+				e.Copyset.Add(i) // ascending by construction
 			}
 		}
-		e.Copyset = copyset // ascending by construction
 		d.scrubEntries(pg, n, best)
 	}
 }
@@ -374,7 +365,8 @@ func (d *DSM) rehomePages(n int) {
 // scrubEntries removes the dead node n from pg's surviving entries: out of
 // copysets, hints through it redirected to target, home metadata updated.
 func (d *DSM) scrubEntries(pg Page, n, target int) {
-	home := d.allocInfo[pg].home
+	pi, _ := d.dir.get(pg)
+	home := pi.home
 	for i := 0; i < d.rt.Nodes(); i++ {
 		if i == n || d.recovery.dead[i] {
 			continue

@@ -181,9 +181,16 @@ type CoreState struct {
 	Stats      Stats            `json:"stats"`
 	NodeFaults []int64          `json:"node_faults"`
 	Timings    []FaultTiming    `json:"timings,omitempty"`
-	OpHists    []HistogramState `json:"op_hists,omitempty"`
-	Recovery   *RecoverySnap    `json:"recovery,omitempty"`
-	Profiler   *ProfilerSnap    `json:"profiler,omitempty"`
+
+	// Sharded machines snapshot their counter and timing state per shard
+	// (the merged Stats/Timings fields above stay populated for readers of
+	// the aggregate). A single-loop machine omits both, keeping its wire
+	// form byte-identical to pre-sharding snapshots.
+	ShardStats   []Stats          `json:"shard_stats,omitempty"`
+	ShardTimings [][]FaultTiming  `json:"shard_timings,omitempty"`
+	OpHists      []HistogramState `json:"op_hists,omitempty"`
+	Recovery     *RecoverySnap    `json:"recovery,omitempty"`
+	Profiler     *ProfilerSnap    `json:"profiler,omitempty"`
 }
 
 // CaptureState serializes the DSM at a safe point, or explains why the
@@ -195,14 +202,23 @@ func (d *DSM) CaptureState() (*CoreState, error) {
 	s := &CoreState{
 		Batch:      d.batch,
 		Alloc:      d.alloc.Capture(),
-		Stats:      d.stats,
+		Stats:      d.Stats(),
 		NodeFaults: append([]int64(nil), d.nodeFaults...),
+	}
+	if len(d.statsSh) > 1 {
+		s.ShardStats = append([]Stats(nil), d.statsSh...)
+		s.ShardTimings = make([][]FaultTiming, len(d.timingsSh))
+		for sh := range d.timingsSh {
+			for _, ft := range d.timingsSh[sh].All() {
+				s.ShardTimings[sh] = append(s.ShardTimings[sh], *ft)
+			}
+		}
 	}
 	if d.defProto >= 0 {
 		s.DefProto = d.registry.Name(d.defProto)
 	}
 	for id := ProtoID(0); int(id) < d.registry.Len(); id++ {
-		p, ok := d.instances[id]
+		p, ok := d.instanceIfLive(id)
 		if !ok {
 			continue
 		}
@@ -217,7 +233,7 @@ func (d *DSM) CaptureState() (*CoreState, error) {
 		s.Protocols = append(s.Protocols, ps)
 	}
 	for _, pg := range d.sortedPages() {
-		pi := d.allocInfo[pg]
+		pi, _ := d.dir.get(pg)
 		s.Pages = append(s.Pages, PageAllocState{
 			Page: uint64(pg), Home: pi.home, Proto: d.registry.Name(pi.proto),
 		})
@@ -251,6 +267,12 @@ func (d *DSM) CaptureState() (*CoreState, error) {
 		sort.Ints(snap.Arrived)
 		s.Barriers = append(s.Barriers, snap)
 	}
+	// On a sharded machine a barrier can look idle at its home while a leader
+	// still holds an un-carried batch or an in-flight combine — reject those
+	// mid-combine moments too.
+	if err := d.TreeBarrierResidue(); err != nil {
+		return nil, err
+	}
 	for _, cs := range d.conds {
 		if len(cs.tickets) > 0 {
 			return nil, fmt.Errorf("core: capture with %d outstanding wait ticket(s) on condition %d", len(cs.tickets), cs.id)
@@ -275,7 +297,7 @@ func (d *DSM) CaptureState() (*CoreState, error) {
 			Cur: uint64(a.cur), End: uint64(a.end),
 		})
 	}
-	for _, ft := range d.timings.All() {
+	for _, ft := range d.Timings().All() {
 		s.Timings = append(s.Timings, *ft)
 	}
 	for _, kind := range d.OpKinds() {
@@ -349,7 +371,7 @@ func (d *DSM) captureNode(n int) (NodeCoreState, error) {
 		}
 		out.Entries = append(out.Entries, EntryState{
 			Page: uint64(pg), ProbOwner: e.ProbOwner, Home: e.Home, Owner: e.Owner,
-			Copyset:  append([]int(nil), e.Copyset...),
+			Copyset:  e.Copyset.AppendTo(nil),
 			InvalSeq: e.InvalSeq, ReqSeq: e.reqSeq,
 		})
 	}
@@ -392,13 +414,13 @@ func (d *DSM) RestoreState(s *CoreState) error {
 		return err
 	}
 	d.batch = s.Batch
-	d.allocInfo = make(map[Page]pageInfo, len(s.Pages))
+	d.dir.reset()
 	for _, pa := range s.Pages {
 		id, err := d.lookupProto(pa.Proto)
 		if err != nil {
 			return err
 		}
-		d.allocInfo[Page(pa.Page)] = pageInfo{home: pa.Home, proto: id}
+		d.dir.set(Page(pa.Page), pageInfo{home: pa.Home, proto: id})
 	}
 	if s.DefProto != "" {
 		id, err := d.lookupProto(s.DefProto)
@@ -441,7 +463,7 @@ func (d *DSM) RestoreState(s *CoreState) error {
 			e.ProbOwner = es.ProbOwner
 			e.Home = es.Home
 			e.Owner = es.Owner
-			e.Copyset = append([]int(nil), es.Copyset...)
+			e.Copyset.FromSlice(es.Copyset)
 			e.InvalSeq = es.InvalSeq
 			e.reqSeq = es.ReqSeq
 		}
@@ -490,14 +512,32 @@ func (d *DSM) RestoreState(s *CoreState) error {
 			attr: &Attr{Protocol: id, Home: oa.Home},
 		}
 	}
-	d.stats = s.Stats
+	// Counter/timing state: a snapshot carrying per-shard blocks restores
+	// them exactly when the shard counts match; anything else (a legacy
+	// single-loop snapshot, or a restore onto a machine with a different
+	// shard count) folds the aggregate into shard 0 — the totals every
+	// reader observes through Stats()/Timings() are identical either way.
+	for i := range d.statsSh {
+		d.statsSh[i] = Stats{}
+		d.timingsSh[i] = TimingLog{}
+	}
+	if len(s.ShardStats) == len(d.statsSh) && len(s.ShardTimings) == len(d.timingsSh) && len(d.statsSh) > 1 {
+		copy(d.statsSh, s.ShardStats)
+		for sh := range s.ShardTimings {
+			for i := range s.ShardTimings[sh] {
+				ft := s.ShardTimings[sh][i]
+				d.timingsSh[sh].Add(&ft)
+			}
+		}
+	} else {
+		d.statsSh[0] = s.Stats
+		for i := range s.Timings {
+			ft := s.Timings[i]
+			d.timingsSh[0].Add(&ft)
+		}
+	}
 	if len(s.NodeFaults) == len(d.nodeFaults) {
 		copy(d.nodeFaults, s.NodeFaults)
-	}
-	d.timings = TimingLog{}
-	for i := range s.Timings {
-		ft := s.Timings[i]
-		d.timings.Add(&ft)
 	}
 	d.opHists = nil
 	for _, hs := range s.OpHists {

@@ -28,7 +28,7 @@ func (d *DSM) SwitchProtocol(t *pm2.Thread, base Addr, size int, proto ProtoID) 
 	last := space.PageOf(base + Addr(size-1))
 	// Validate quiescence and ownership of the whole range first.
 	for pg := first; pg <= last; pg++ {
-		if _, ok := d.allocInfo[pg]; !ok {
+		if _, ok := d.dir.get(pg); !ok {
 			return fmt.Errorf("core: SwitchProtocol on unallocated page %d", pg)
 		}
 		for n := 0; n < d.rt.Nodes(); n++ {
@@ -39,9 +39,9 @@ func (d *DSM) SwitchProtocol(t *pm2.Thread, base Addr, size int, proto ProtoID) 
 		}
 	}
 	for pg := first; pg <= last; pg++ {
-		pi := d.allocInfo[pg]
+		pi, _ := d.dir.get(pg)
 		pi.proto = proto
-		d.allocInfo[pg] = pi
+		d.dir.set(pg, pi)
 		// If ownership moved away from the home under the old protocol,
 		// the owner's copy is the authoritative one: bring it home first
 		// (one page transfer on the wire).
@@ -63,8 +63,9 @@ func (d *DSM) SwitchProtocol(t *pm2.Thread, base Addr, size int, proto ProtoID) 
 			e.Lock(t)
 			e.ProbOwner = pi.home
 			e.Owner = n == pi.home
-			e.Copyset = nil
+			e.Copyset.Clear()
 			e.ProtoData = nil
+			e.proto = proto // keep the hot-path cache in step with the directory
 			if n == pi.home {
 				// The home's copy is authoritative and survives.
 				d.state[n].space.SetAccess(pg, memory.ReadWrite)

@@ -104,7 +104,7 @@ func (d *DSM) BindLock(id int, base Addr, size int) {
 	last := space.PageOf(base + Addr(size-1))
 	ls := d.locks[id]
 	for pg := first; pg <= last; pg++ {
-		if _, ok := d.allocInfo[pg]; !ok {
+		if _, ok := d.dir.get(pg); !ok {
 			panic(fmt.Sprintf("core: binding unallocated page %d to lock %d", pg, id))
 		}
 		ls.bound = append(ls.bound, pg)
@@ -274,6 +274,9 @@ func (d *DSM) registerSyncServices() {
 			return grantReply(g)
 		})
 
+		if d.tree != nil {
+			d.registerTreeBarServices(node)
+		}
 		d.registerCondServices(node)
 	}
 }
@@ -318,7 +321,7 @@ func (d *DSM) Acquire(t *pm2.Thread, id int) {
 	if id < 0 || id >= len(d.locks) {
 		panic(fmt.Sprintf("core: acquire of unknown lock %d", id))
 	}
-	d.stats.Acquires++
+	d.st(t.Node()).Acquires++
 	t.Call(d.locks[id].home, svcLockAcq, &lockReq{id: id, from: t.Node()}, ctrlBytes, ctrlBytes)
 	ev := &SyncEvent{DSM: d, Thread: t, Node: t.Node(), Lock: id}
 	d.eachInstance(func(p Protocol) { p.LockAcquire(ev) })
@@ -330,7 +333,7 @@ func (d *DSM) Release(t *pm2.Thread, id int) {
 	if id < 0 || id >= len(d.locks) {
 		panic(fmt.Sprintf("core: release of unknown lock %d", id))
 	}
-	d.stats.Releases++
+	d.st(t.Node()).Releases++
 	ev := &SyncEvent{DSM: d, Thread: t, Node: t.Node(), Lock: id}
 	d.eachInstance(func(p Protocol) { p.LockRelease(ev) })
 	res := t.Call(d.locks[id].home, svcLockRel, &lockReq{id: id, from: t.Node()}, ctrlBytes, ctrlBytes)
@@ -359,17 +362,28 @@ func (d *DSM) BarrierAs(t *pm2.Thread, id, participant, gen int) {
 	if id < 0 || id >= len(d.barriers) {
 		panic(fmt.Sprintf("core: wait on unknown barrier %d", id))
 	}
-	d.stats.Barriers++
+	d.st(t.Node()).Barriers++
 	ev := &SyncEvent{DSM: d, Thread: t, Node: t.Node(), Lock: id, Barrier: true}
 	d.eachInstance(func(p Protocol) { p.LockRelease(ev) })
 	// The release hooks above may have queued write notices; they ride the
 	// arrival message, and the barrier's completion hands back the
 	// generation's aggregated notices to apply locally — invalidation with
 	// zero extra round trips.
-	req := &barrierReq{id: id, from: t.Node(), participant: participant, gen: gen,
-		notices: d.takeNotices(t.Node(), id)}
-	res := t.Call(d.barriers[id].home, svcBarrier, req,
-		ctrlBytes+noticeBytes*len(req.notices), ctrlBytes)
+	var res interface{}
+	if d.useTree(d.barriers[id]) {
+		// Sharded machine, cluster-wide barrier, no crash recovery: combine
+		// arrivals through the cluster tree instead of funneling every node
+		// to the manager (see treebar.go). Participant identity and
+		// generation are crash-recovery machinery and are ignored — with
+		// recovery off, every participant arrives exactly once per
+		// generation.
+		res = d.treeBarrierArrive(t, id, d.takeNotices(t.Node(), id))
+	} else {
+		req := &barrierReq{id: id, from: t.Node(), participant: participant, gen: gen,
+			notices: d.takeNotices(t.Node(), id)}
+		res = t.Call(d.barriers[id].home, svcBarrier, req,
+			ctrlBytes+noticeBytes*len(req.notices), ctrlBytes)
+	}
 	if g, ok := res.(*barrierGrant); ok {
 		// Migrations first: the write notices (and the protocols' acquire
 		// hooks below) must see the post-migration placement.

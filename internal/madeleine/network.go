@@ -69,6 +69,12 @@ type netShard struct {
 	msgs      int
 	bytes     int64
 	envelopes int
+	// envByLink classes departed envelopes by the profile name of the link
+	// they crossed ("BIP/Myrinet", the backbone profile of a hierarchical
+	// topology, ...). A bench-only diagnostic: it is deliberately NOT part
+	// of network snapshots, so enabling it never churns checkpoint wire
+	// forms. Allocated lazily on first send.
+	envByLink map[string]int
 }
 
 func newNetShard(n int) *netShard {
@@ -409,7 +415,7 @@ func (nw *Network) SendAfter(msg *Message, d sim.Duration) {
 	msg.SentAt = eng.Now()
 	st.msgs++
 	st.bytes += int64(msg.Size)
-	st.envelopes++
+	nw.countEnvelope(st, msg.From, msg.To)
 	if msg.Chan == 0 {
 		msg.Chan = nw.ChannelID(msg.Channel)
 	}
@@ -459,7 +465,7 @@ func (nw *Network) SendGather(from, to int, parts []GatherPart, d sim.Duration) 
 	}
 	st.msgs += len(parts)
 	st.bytes += int64(total)
-	st.envelopes++
+	nw.countEnvelope(st, from, to)
 	if st.faults != nil && nw.interceptGather(eng, st, from, to, msgs, total, d) {
 		return
 	}
@@ -552,7 +558,7 @@ func (nw *Network) SendDirect(from, to int, q *sim.Chan, size int, payload inter
 	eng, st := nw.sendCtx(from, to)
 	st.msgs++
 	st.bytes += int64(size)
-	st.envelopes++
+	nw.countEnvelope(st, from, to)
 	if st.faults != nil && nw.intercept(eng, st, from, to, q, payload, size, d, false) {
 		return
 	}
@@ -597,6 +603,31 @@ func (nw *Network) Envelopes() int {
 	out := 0
 	for _, st := range nw.shs {
 		out += st.envelopes
+	}
+	return out
+}
+
+// countEnvelope bumps the total and the per-link-class envelope counters for
+// one departure on the from->to link.
+func (nw *Network) countEnvelope(st *netShard, from, to int) {
+	st.envelopes++
+	if st.envByLink == nil {
+		st.envByLink = make(map[string]int)
+	}
+	st.envByLink[nw.Link(from, to).Name]++
+}
+
+// EnvelopesByLink classes the departed envelopes by the profile name of the
+// link they crossed, summed over shards. On a hierarchical topology this
+// splits intra-cluster traffic from backbone traffic — the number a
+// combining-tree barrier is supposed to shrink. Purely diagnostic: the
+// per-class counters are not serialized into snapshots.
+func (nw *Network) EnvelopesByLink() map[string]int {
+	out := make(map[string]int)
+	for _, st := range nw.shs {
+		for k, v := range st.envByLink {
+			out[k] += v
+		}
 	}
 	return out
 }

@@ -228,6 +228,20 @@ func (rt *Runtime) engFor(n int) *sim.Engine {
 	return rt.se.Shard(rt.nodeShard[n])
 }
 
+// EngineFor returns the engine that owns node n's events: the engine whose
+// clock and RNG a layer above must use for anything observed from node n's
+// context. On a single-loop machine it is Engine(); on a sharded machine it
+// is n's shard, whose clock (unlike Now()) is deterministic mid-run.
+func (rt *Runtime) EngineFor(n int) *sim.Engine { return rt.engFor(n) }
+
+// Shards reports the number of event-loop shards (1 when single-loop).
+func (rt *Runtime) Shards() int {
+	if rt.se == nil {
+		return 1
+	}
+	return rt.se.Shards()
+}
+
 // Network returns the machine's interconnect.
 func (rt *Runtime) Network() *madeleine.Network { return rt.net }
 

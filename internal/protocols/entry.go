@@ -87,7 +87,7 @@ func (p *entryMW) serveCopy(r *core.Request, access memory.Access) {
 		panic("entry_mw: page request did not reach the home node")
 	}
 	e.AddCopyset(r.From)
-	core.SendPage(r, e, r.From, access, false, nil)
+	core.SendPage(r, e, r.From, access, false, core.NodeSet{})
 	e.Unlock(r.Thread)
 }
 

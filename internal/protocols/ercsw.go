@@ -53,7 +53,7 @@ func (p *ercSW) ReadServer(r *core.Request) {
 	}
 	e.AddCopyset(r.From)
 	p.d.Space(r.Node).SetAccess(r.Page, memory.ReadOnly)
-	core.SendPage(r, e, r.From, memory.ReadOnly, false, nil)
+	core.SendPage(r, e, r.From, memory.ReadOnly, false, core.NodeSet{})
 	e.Unlock(r.Thread)
 }
 
@@ -68,24 +68,8 @@ func (p *ercSW) WriteServer(r *core.Request) {
 		return
 	}
 	cs := e.TakeCopyset()
-	has := false
-	for _, n := range cs {
-		if n == r.Node {
-			has = true
-		}
-	}
-	if !has {
-		cs = append(cs, r.Node) // we stay behind as a reader
-	}
-	// The requester must not appear in its own copyset.
-	out := cs[:0]
-	for _, n := range cs {
-		if n != r.From {
-			out = append(out, n)
-		}
-	}
-	cs = out
-	sort.Ints(cs)
+	cs.Add(r.Node)    // we stay behind as a reader
+	cs.Remove(r.From) // the requester must not appear in its own copyset
 	core.SendPage(r, e, r.From, memory.ReadWrite, true, cs)
 	e.Owner = false
 	e.ProbOwner = r.From
@@ -128,9 +112,7 @@ func (p *ercSW) LockRelease(s *core.SyncEvent) {
 		}
 		cs := e.TakeCopyset()
 		e.Unlock(s.Thread)
-		for _, n := range cs {
-			b.Invalidate(n, pg, -1)
-		}
+		cs.ForEach(func(n int) { b.Invalidate(n, pg, -1) })
 	}
 	b.Flush(true)
 }

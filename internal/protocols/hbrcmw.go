@@ -87,7 +87,7 @@ func (p *hbrcMW) serveCopy(r *core.Request, access memory.Access) {
 		panic("hbrc_mw: page request did not reach the home node")
 	}
 	e.AddCopyset(r.From)
-	core.SendPage(r, e, r.From, access, false, nil)
+	core.SendPage(r, e, r.From, access, false, core.NodeSet{})
 	e.Unlock(r.Thread)
 }
 
@@ -157,7 +157,7 @@ func (p *hbrcMW) LockRelease(s *core.SyncEvent) {
 			// No copies, no notice: the copyset stays in place (a late
 			// fetch may still join it) and the barrier prunes it.
 			if useNotices {
-				empty := len(e.Copyset) == 0
+				empty := e.Copyset.Empty()
 				e.Unlock(s.Thread)
 				if !empty {
 					p.d.QueueWriteNotice(s.Thread, s.Lock, pg)
@@ -166,9 +166,7 @@ func (p *hbrcMW) LockRelease(s *core.SyncEvent) {
 			}
 			cs := e.TakeCopyset()
 			e.Unlock(s.Thread)
-			for _, n := range cs {
-				b.Invalidate(n, pg, -1)
-			}
+			cs.ForEach(func(n int) { b.Invalidate(n, pg, -1) })
 			continue
 		}
 		e.Unlock(s.Thread)
@@ -196,13 +194,13 @@ func (p *hbrcMW) DiffServer(dm *core.DiffMsg) {
 		e := p.d.Entry(dm.Node, df.Page)
 		e.Lock(dm.Thread)
 		cs := e.TakeCopyset()
-		for _, n := range cs {
+		cs.ForEach(func(n int) {
 			if n == dm.From {
 				e.AddCopyset(n) // the sender keeps its copy
 			} else {
 				b.Invalidate(n, df.Page, -1)
 			}
-		}
+		})
 		e.Unlock(dm.Thread)
 	}
 	b.Flush(true)

@@ -54,7 +54,7 @@ func (p *hybrid) ReadServer(r *core.Request) {
 	}
 	e.AddCopyset(r.From)
 	p.d.Space(r.Node).SetAccess(r.Page, memory.ReadOnly)
-	core.SendPage(r, e, r.From, memory.ReadOnly, false, nil)
+	core.SendPage(r, e, r.From, memory.ReadOnly, false, core.NodeSet{})
 	e.Unlock(r.Thread)
 }
 

@@ -70,7 +70,7 @@ func (p *java) serveCopy(r *core.Request) {
 		panic(p.Name() + ": page request did not reach the home node")
 	}
 	e.AddCopyset(r.From)
-	core.SendPage(r, e, r.From, memory.ReadWrite, false, nil)
+	core.SendPage(r, e, r.From, memory.ReadWrite, false, core.NodeSet{})
 	e.Unlock(r.Thread)
 }
 
@@ -200,7 +200,7 @@ func (p *java) ensureLocal(a *core.ObjAccess, pg core.Page) {
 	if p.d.Space(node).AccessOf(pg).Allows(true) {
 		return
 	}
-	p.d.CountObjFetch()
+	p.d.CountObjFetch(node)
 	f := &core.Fault{
 		DSM:    p.d,
 		Thread: a.Thread,

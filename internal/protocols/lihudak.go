@@ -37,7 +37,7 @@ func (p *liHudak) ReadServer(r *core.Request) {
 	}
 	e.AddCopyset(r.From)
 	p.d.Space(r.Node).SetAccess(r.Page, memory.ReadOnly)
-	core.SendPage(r, e, r.From, memory.ReadOnly, false, nil)
+	core.SendPage(r, e, r.From, memory.ReadOnly, false, core.NodeSet{})
 	e.Unlock(r.Thread)
 }
 
@@ -55,7 +55,7 @@ func (p *liHudak) WriteServer(r *core.Request) {
 	// page. The entry lock stays held so no competing request interleaves.
 	cs := e.TakeCopyset()
 	core.InvalidateCopies(p.d, r.Thread, r.Page, cs, r.From)
-	core.SendPage(r, e, r.From, memory.ReadWrite, true, nil)
+	core.SendPage(r, e, r.From, memory.ReadWrite, true, core.NodeSet{})
 	e.Owner = false
 	e.ProbOwner = r.From
 	p.d.Space(r.Node).Drop(r.Page)

@@ -70,7 +70,7 @@ func (p *liManaged) ReadServer(r *core.Request) {
 	}
 	e.AddCopyset(r.From)
 	p.d.Space(r.Node).SetAccess(r.Page, memory.ReadOnly)
-	core.SendPage(r, e, r.From, memory.ReadOnly, false, nil)
+	core.SendPage(r, e, r.From, memory.ReadOnly, false, core.NodeSet{})
 	e.Unlock(r.Thread)
 }
 
@@ -93,7 +93,7 @@ func (p *liManaged) WriteServer(r *core.Request) {
 	}
 	cs := e.TakeCopyset()
 	core.InvalidateCopies(p.d, r.Thread, r.Page, cs, r.From)
-	core.SendPage(r, e, r.From, memory.ReadWrite, true, nil)
+	core.SendPage(r, e, r.From, memory.ReadWrite, true, core.NodeSet{})
 	e.Owner = false
 	e.ProbOwner = r.From
 	p.d.Space(r.Node).Drop(r.Page)

@@ -297,6 +297,11 @@ func (se *ShardedEngine) Run() error {
 	se.done = false
 	for i := range se.shards {
 		se.next[i] = 0
+		// The bounds from the previous phase are stale — a completed Run
+		// leaves every lb saturated at maxTime, which would hand each shard
+		// an unbounded horizon before its peers post real bounds. Restart
+		// the promise protocol from zero; lb=0 is always a safe promise.
+		se.lb[i] = 0
 		se.waiting[i] = false
 	}
 	se.nwaiting = 0
@@ -645,6 +650,83 @@ func (e *Engine) ScheduleShard(dst int, t Time, fn func()) {
 		return
 	}
 	e.sh.se.send(e.sh.id, dst, remoteEvent{t: t, fn: fn})
+}
+
+// Capture snapshots every shard's kernel at a global safe point: between Run
+// calls, every shard drained (no token holder, no queued events, no live
+// non-daemon procs), no remote events pending in any heap and no mailbox
+// undrained. Returns one Snapshot per shard, in shard order; a one-shard
+// engine returns exactly its legacy Engine capture.
+func (se *ShardedEngine) Capture() ([]Snapshot, error) {
+	if len(se.shards) == 1 {
+		s, err := se.shards[0].Capture()
+		if err != nil {
+			return nil, err
+		}
+		return []Snapshot{s}, nil
+	}
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	for i, e := range se.shards {
+		if err := e.shardQuiesced("capture", i); err != nil {
+			return nil, err
+		}
+		if n := len(se.inbox[i]); n != 0 {
+			return nil, fmt.Errorf("sim: capture: shard %d mailbox holds %d undrained cross-shard event(s)", i, n)
+		}
+	}
+	out := make([]Snapshot, len(se.shards))
+	for i, e := range se.shards {
+		out[i] = e.snapshotNow()
+	}
+	return out, nil
+}
+
+// Restore stomps every shard's kernel to a captured global safe point. The
+// engine must have the same shard count (and therefore the same derived
+// seeds) as the captured one, be at a safe point itself, and — per shard —
+// must not have consumed more counters or random draws than its snapshot
+// records; see Engine.Restore.
+func (se *ShardedEngine) Restore(ss []Snapshot) error {
+	if len(ss) != len(se.shards) {
+		return fmt.Errorf("sim: restore: snapshot has %d shard(s), engine has %d", len(ss), len(se.shards))
+	}
+	if len(se.shards) == 1 {
+		return se.shards[0].Restore(ss[0])
+	}
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	for i, e := range se.shards {
+		if err := e.shardQuiesced("restore", i); err != nil {
+			return err
+		}
+		if n := len(se.inbox[i]); n != 0 {
+			return fmt.Errorf("sim: restore: shard %d mailbox holds %d undrained cross-shard event(s)", i, n)
+		}
+	}
+	for i, e := range se.shards {
+		if err := e.restoreSnapshot(ss[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardQuiesced is the per-shard half of the sharded safe-point check: the
+// same conditions Engine.quiesced imposes, minus the blanket sharded
+// rejection, plus an empty remote-pending heap.
+func (e *Engine) shardQuiesced(op string, shard int) error {
+	switch {
+	case e.cur != nil:
+		return fmt.Errorf("sim: %s: shard %d: proc %q holds the simulation token (call between Run phases)", op, shard, e.cur.name)
+	case e.nqueued != 0:
+		return fmt.Errorf("sim: %s: shard %d: %d event(s) still queued (queue must be drained)", op, shard, e.nqueued)
+	case len(e.sh.pending) != 0:
+		return fmt.Errorf("sim: %s: shard %d: %d remote event(s) pending", op, shard, len(e.sh.pending))
+	case e.nlive != 0:
+		return fmt.Errorf("sim: %s: shard %d: %d non-daemon proc(s) still live", op, shard, e.nlive)
+	}
+	return nil
 }
 
 // minTime returns the smaller of two times.
