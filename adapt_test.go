@@ -144,7 +144,7 @@ func faultyMigrationRun(t *testing.T, crashAt dsmpm2.Duration) (uint64, string, 
 	plan := dsmpm2.NewFaultPlan(5)
 	plan.Crash(dsmpm2.Time(crashAt), 1)
 	plan.Restart(dsmpm2.Time(crashAt)+dsmpm2.Time(3*dsmpm2.Millisecond), 1)
-	sys.InjectFaults(plan, dsmpm2.FaultOptions{
+	if err := sys.InjectFaults(plan, dsmpm2.FaultOptions{
 		OnRestart: func(node int) {
 			done := lastDone[node]
 			sys.Spawn(node, fmt.Sprintf("w%d.r", node), func(th *dsmpm2.Thread) {
@@ -154,7 +154,9 @@ func faultyMigrationRun(t *testing.T, crashAt dsmpm2.Duration) (uint64, string, 
 				runWorker(th, node, done+1)
 			})
 		},
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	for n := 0; n < nodes; n++ {
 		n := n
 		sys.Spawn(n, fmt.Sprintf("w%d", n), func(th *dsmpm2.Thread) {

@@ -33,7 +33,9 @@ func runLossy(t *testing.T, tune dsmpm2.RecoveryTuning) *dsmpm2.System {
 		plan.Loss(0, w, home, 0.45, 0)
 		plan.Loss(0, home, w, 0.45, 0)
 	}
-	sys.InjectFaults(plan, dsmpm2.FaultOptions{})
+	if err := sys.InjectFaults(plan, dsmpm2.FaultOptions{}); err != nil {
+		t.Fatal(err)
+	}
 
 	// One page per writer, all homed on the lossy node.
 	pages := make([]dsmpm2.Addr, writers)

@@ -17,6 +17,21 @@
 //	dsmbench -exp comm         # batched vs unbatched communication path
 //	dsmbench -exp adapt        # sharing-pattern profiler + dynamic home migration
 //	dsmbench -exp serve        # Zipf-serving KV store: per-op tail latency, static vs adaptive
+//	dsmbench -exp tune         # what-if auto-tuner: record once, re-simulate the config grid
+//
+// The tune experiment (excluded from "all", like kernel) records one run of
+// -tuneworkload (jacobi, matmul or serve), then re-simulates the whole
+// configuration search space — {protocol x topology x placement x comm
+// batching} — as parallel host-level runs (-workers, default every host CPU)
+// and prints the grid ranked by virtual elapsed time. Cell results are
+// cached in -cachedir (default .tunecache) keyed by the recording's digests,
+// so a repeated sweep re-runs nothing and reproduces the identical ranking.
+// The grid can be subset with -tuneprotos/-tunetopos/-tuneplace/-tunecomm
+// (comma-separated; "all" keeps the axis). It exits non-zero if the winning
+// cell fails to beat the recording baseline. With -json it writes the
+// committed BENCH_tune.json snapshot, which deliberately omits worker and
+// cache counters: sweeps are bit-identical whatever the host parallelism or
+// cache state, and the snapshot stays byte-comparable.
 //
 // The comm experiment (excluded from "all", like kernel) runs jacobi,
 // matmul and lu at 16-64 nodes on both communication paths and reports the
@@ -91,6 +106,7 @@ import (
 	"dsmpm2/internal/apps/tsp"
 	"dsmpm2/internal/bench"
 	"dsmpm2/internal/madeleine"
+	"dsmpm2/internal/tune"
 )
 
 // main delegates to realMain so error paths unwind through the deferred
@@ -104,59 +120,155 @@ func main() {
 var experiments = []string{
 	"all", "protocols", "rpc", "migration", "table3", "table4",
 	"fig4", "fig4detail", "fig5", "multicluster", "contention",
-	"kernel", "faults", "comm", "adapt", "serve", "ckpt", "bisect",
+	"kernel", "faults", "comm", "adapt", "serve", "ckpt", "bisect", "tune",
+}
+
+// cliArgs is the validated knob set; defaultArgs carries the flag defaults
+// so tests can perturb one knob at a time.
+type cliArgs struct {
+	exp     string
+	shards  int
+	perturb int
+	readers int
+	// The tune experiment's knobs: the worker-pool size and the grid-subset
+	// selectors (comma-separated axis values; "all"/"" keeps the whole axis).
+	workers      int
+	cacheDir     string
+	tuneWorkload string
+	tuneProtos   string
+	tuneTopos    string
+	tunePlace    string
+	tuneComm     string
+}
+
+// defaultArgs mirrors the flag defaults.
+func defaultArgs(exp string) cliArgs {
+	return cliArgs{exp: exp, perturb: 3, readers: 8, cacheDir: ".tunecache",
+		tuneWorkload: "jacobi", tuneProtos: "all", tuneTopos: "all", tunePlace: "all", tuneComm: "all"}
+}
+
+// axisList parses a comma-separated grid-subset selector; "all" (or empty)
+// selects the whole axis, rendered as a nil subset for tune.Options.
+func axisList(csv string) []string {
+	csv = strings.TrimSpace(csv)
+	if csv == "" || csv == "all" {
+		return nil
+	}
+	var out []string
+	for _, v := range strings.Split(csv, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// checkAxis rejects a grid-subset selector naming an unknown axis value; the
+// error names the valid set so a typo is self-correcting.
+func checkAxis(flagName, csv string, valid []string) error {
+	for _, v := range axisList(csv) {
+		ok := false
+		for _, w := range valid {
+			if v == w {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("-%s %q is not a valid value (valid: %s, or all)",
+				flagName, v, strings.Join(valid, ", "))
+		}
+	}
+	return nil
 }
 
 // validateArgs rejects an unknown experiment or out-of-range knobs before
 // anything runs, so a typo exits 2 with usage instead of silently running
 // zero experiments or panicking mid-suite.
-func validateArgs(exp string, shards, perturb, readers int) error {
+func validateArgs(a cliArgs) error {
 	known := false
 	for _, e := range experiments {
-		if e == exp {
+		if e == a.exp {
 			known = true
 			break
 		}
 	}
 	if !known {
-		return fmt.Errorf("unknown experiment %q (valid: %s)", exp, strings.Join(experiments, ", "))
+		return fmt.Errorf("unknown experiment %q (valid: %s)", a.exp, strings.Join(experiments, ", "))
 	}
-	if shards < 0 {
-		return fmt.Errorf("-shards %d out of range (want >= 0; 0 selects the experiment's default)", shards)
+	if a.shards < 0 {
+		return fmt.Errorf("-shards %d out of range (want >= 0; 0 selects the experiment's default)", a.shards)
 	}
 	// The experiments that shard the simulated machine (not just the host
 	// matrix) bound -shards by their pinned topology: a shard must own at
 	// least one node, and the comm scale rows additionally need the shards to
 	// tile the hierarchical topology's clusters so the combining tree's
 	// leaves align with cluster boundaries.
-	switch exp {
+	switch a.exp {
+	case "faults":
+		// Crash recovery is single-loop machinery; System.InjectFaults
+		// refuses a sharded kernel, so reject the combination up front.
+		if a.shards > 1 {
+			return fmt.Errorf("-shards %d is invalid for the faults experiment (fault injection requires Shards <= 1: crash recovery assumes the single-loop kernel)", a.shards)
+		}
 	case "serve":
-		if shards > bench.ServeNodes {
+		if a.shards > bench.ServeNodes {
 			return fmt.Errorf("-shards %d exceeds the serve workload's %d nodes (a shard owns at least one node)",
-				shards, bench.ServeNodes)
+				a.shards, bench.ServeNodes)
 		}
 	case "comm":
-		if shards > bench.CommScaleClusters {
+		if a.shards > bench.CommScaleClusters {
 			return fmt.Errorf("-shards %d exceeds the comm scale topology's %d clusters",
-				shards, bench.CommScaleClusters)
+				a.shards, bench.CommScaleClusters)
 		}
-		if shards > 0 && bench.CommScaleClusters%shards != 0 {
+		if a.shards > 0 && bench.CommScaleClusters%a.shards != 0 {
 			return fmt.Errorf("-shards %d does not tile the comm scale topology's %d clusters (want a divisor)",
-				shards, bench.CommScaleClusters)
+				a.shards, bench.CommScaleClusters)
+		}
+	case "tune":
+		if a.workers < 0 {
+			return fmt.Errorf("-workers %d out of range (want >= 0; 0 uses every host CPU)", a.workers)
+		}
+		if fi, err := os.Stat(a.cacheDir); a.cacheDir != "" && err == nil && !fi.IsDir() {
+			return fmt.Errorf("-cachedir %q exists and is not a directory", a.cacheDir)
+		}
+		okWl := false
+		for _, w := range tune.Workloads {
+			if a.tuneWorkload == w {
+				okWl = true
+				break
+			}
+		}
+		if !okWl {
+			return fmt.Errorf("-tuneworkload %q is not a recordable workload (valid: %s)",
+				a.tuneWorkload, strings.Join(tune.Workloads, ", "))
+		}
+		for _, ax := range []struct {
+			flag, csv string
+			valid     []string
+		}{
+			{"tuneprotos", a.tuneProtos, tune.Protocols},
+			{"tunetopos", a.tuneTopos, tune.Topologies},
+			{"tuneplace", a.tunePlace, tune.Placements},
+			{"tunecomm", a.tuneComm, tune.Comms},
+		} {
+			if err := checkAxis(ax.flag, ax.csv, ax.valid); err != nil {
+				return err
+			}
 		}
 	}
-	if perturb < 1 {
-		return fmt.Errorf("-perturb %d out of range (want >= 1: a session step index)", perturb)
+	if a.perturb < 1 {
+		return fmt.Errorf("-perturb %d out of range (want >= 1: a session step index)", a.perturb)
 	}
-	if readers < 1 {
-		return fmt.Errorf("-readers %d out of range (want >= 1 concurrent transfers)", readers)
+	if a.readers < 1 {
+		return fmt.Errorf("-readers %d out of range (want >= 1 concurrent transfers)", a.readers)
 	}
 	return nil
 }
 
 func realMain(args []string) (code int) {
 	fs := flag.NewFlagSet("dsmbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment: all,rpc,migration,table3,table4,fig4,fig5,protocols,multicluster,contention, or kernel/faults/comm/adapt/serve/ckpt/bisect (explicit opt-in, excluded from all)")
+	exp := fs.String("exp", "all", "experiment: all,rpc,migration,table3,table4,fig4,fig5,protocols,multicluster,contention, or kernel/faults/comm/adapt/serve/ckpt/bisect/tune (explicit opt-in, excluded from all)")
 	cities := fs.Int("cities", 11, "TSP cities for fig4 (paper: 14)")
 	topology := fs.String("topology", "hier", "multicluster topology: hier")
 	nodes := fs.Int("nodes", 8, "cluster size for multicluster")
@@ -172,12 +284,22 @@ func realMain(args []string) (code int) {
 	faultProtos := fs.String("faultproto", "hbrc_mw,entry_mw", "comma-separated protocols for the faults experiment")
 	shards := fs.Int("shards", 0, "kernel: max shard count for the host-scaling matrix (0 = host CPUs, floored at 2); comm: shard count of the combining-tree scale rows (0 = one per cluster); serve: kernel shards for the KV runs (0 = single-loop)")
 	perturb := fs.Int("perturb", 3, "bisect experiment: session step at which the deliberate divergence is injected")
+	workers := fs.Int("workers", 0, "tune: host worker-pool size for the grid sweep (0 = every host CPU)")
+	cacheDir := fs.String("cachedir", ".tunecache", "tune: cell-cache ledger directory (empty disables caching)")
+	tuneWorkload := fs.String("tuneworkload", "jacobi", "tune: workload to record (jacobi, matmul, serve)")
+	tuneProtos := fs.String("tuneprotos", "all", "tune: comma-separated protocol subset of the grid (all = every registered protocol)")
+	tuneTopos := fs.String("tunetopos", "all", "tune: comma-separated topology subset (uniform, hier)")
+	tunePlace := fs.String("tuneplace", "all", "tune: comma-separated placement subset (static, misplaced, adaptive)")
+	tuneComm := fs.String("tunecomm", "all", "tune: comma-separated comm subset (batched, unbatched)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if err := validateArgs(*exp, *shards, *perturb, *readers); err != nil {
+	cli := cliArgs{exp: *exp, shards: *shards, perturb: *perturb, readers: *readers,
+		workers: *workers, cacheDir: *cacheDir, tuneWorkload: *tuneWorkload,
+		tuneProtos: *tuneProtos, tuneTopos: *tuneTopos, tunePlace: *tunePlace, tuneComm: *tuneComm}
+	if err := validateArgs(cli); err != nil {
 		fmt.Fprintf(os.Stderr, "dsmbench: %v\n", err)
 		fs.Usage()
 		return 2
@@ -287,6 +409,19 @@ func realMain(args []string) (code int) {
 	if *exp == "bisect" { // explicit opt-in, not part of "all"
 		if err := bisect(*perturb); err != nil {
 			log.Printf("bisect: %v", err)
+			return 1
+		}
+	}
+	if *exp == "tune" { // explicit opt-in, not part of "all"
+		opts := tune.Options{
+			Workers: *workers, CacheDir: *cacheDir,
+			Protocols:  axisList(*tuneProtos),
+			Topologies: axisList(*tuneTopos),
+			Placements: axisList(*tunePlace),
+			Comms:      axisList(*tuneComm),
+		}
+		if err := tuneExp(*jsonOut, *tuneWorkload, opts); err != nil {
+			log.Printf("tune: %v", err)
 			return 1
 		}
 	}
@@ -920,6 +1055,96 @@ func bisect(perturbStep int) error {
 	}
 	fmt.Println("(the probe at step k replays the suspect run to safe point k and compares its")
 	fmt.Println(" fingerprint to the reference ledger — a golden break is located without full traces)")
+	return nil
+}
+
+// benchTuneFile is the ranked-grid snapshot the tune experiment writes with
+// -json.
+const benchTuneFile = "BENCH_tune.json"
+
+// tuneSnapshot is the BENCH_tune.json document. It deliberately carries no
+// worker-pool size and no ran/cached cell split: the ranking is a pure
+// function of the recording and the grid subset, so the snapshot must be
+// byte-identical whatever the host parallelism or cache state. Only the
+// host stanza records where the sweep happened.
+type tuneSnapshot struct {
+	Experiment string         `json:"experiment"`
+	Host       bench.HostMeta `json:"host"`
+	// Workload/Seed/digests identify the recording the grid re-simulated.
+	Workload       string `json:"workload"`
+	Seed           int64  `json:"seed"`
+	ConfigDigest   string `json:"config_digest"`
+	WorkloadDigest string `json:"workload_digest"`
+	GridSize       int    `json:"grid_size"`
+	// Baseline is the recording run's own cell; Winner must beat it.
+	Baseline tune.CellResult   `json:"baseline"`
+	Winner   tune.CellResult   `json:"winner"`
+	Prior    dsmpm2.TunedPrior `json:"prior"`
+	Cells    []tune.CellResult `json:"cells"`
+}
+
+// tuneExp records the workload once, sweeps the configuration grid in
+// parallel, and prints the ranked cells. It fails (exit 1) unless the
+// winning cell strictly matches or beats the recording baseline's virtual
+// elapsed time.
+func tuneExp(writeJSON bool, workload string, opts tune.Options) error {
+	rec, rep, err := bench.TuneSuite(workload, opts)
+	if err != nil {
+		return err
+	}
+	header(fmt.Sprintf("Tune: what-if sweep of %s (seed %d), %d-cell grid", workload, rec.Seed, rep.GridSize))
+	fmt.Printf("recording: baseline %s, fingerprint %.16s..., workload digest %.16s...\n",
+		rec.Baseline.Key(), rec.Fingerprint, rec.WorkloadDigest)
+	fmt.Printf("sweep: %d cells ran, %d served from the cache ledger\n", rep.RanCells, rep.CachedCells)
+	fmt.Printf("%4s %-46s %8s %12s %10s %8s %6s %10s\n",
+		"rank", "cell (protocol/topology/placement/comm)", "correct", "elapsed(ms)", "envelopes", "remote", "migr", "p99(us)")
+	for _, c := range rep.Cells {
+		if !c.Correct {
+			why := c.Err
+			if why == "" {
+				why = "wrong result"
+			}
+			fmt.Printf("%4d %-46s %8v  %s\n", c.Rank, c.Key(), false, why)
+			continue
+		}
+		fmt.Printf("%4d %-46s %8v %12.3f %10d %8d %6d %10.1f\n",
+			c.Rank, c.Key(), true, c.VirtualMS, c.Envelopes, c.RemoteFetches,
+			c.HomeMigrations, float64(c.P99)/1e3)
+	}
+	if !rep.Winner.Correct {
+		return fmt.Errorf("no correct cell in the %d-cell grid", rep.GridSize)
+	}
+	fmt.Printf("winner: %s at %.3f ms vs baseline %s at %.3f ms (%.2fx)\n",
+		rep.Winner.Key(), rep.Winner.VirtualMS, rep.Baseline.Key(), rep.Baseline.VirtualMS,
+		rep.Baseline.VirtualMS/rep.Winner.VirtualMS)
+	fmt.Printf("prior: protocol=%s placement=%s comm=%s (feed back via Config.TunedPrior)\n",
+		rep.Prior.Protocol, rep.Prior.Placement, rep.Prior.Comm)
+	fmt.Println("(every cell is an independent deterministic re-simulation of the recorded")
+	fmt.Println(" workload: the numbers are virtual-time exact, the ranking is bit-identical")
+	fmt.Println(" across worker counts, and cached cells replay from the ledger unchanged)")
+	if rep.Winner.VirtualMS > rep.Baseline.VirtualMS {
+		return fmt.Errorf("winner %s (%.3f ms) regresses vs the recording baseline %s (%.3f ms)",
+			rep.Winner.Key(), rep.Winner.VirtualMS, rep.Baseline.Key(), rep.Baseline.VirtualMS)
+	}
+	if !writeJSON {
+		return nil
+	}
+	snap := tuneSnapshot{Experiment: "tune", Host: bench.Host(),
+		Workload: rep.Workload, Seed: rep.Seed,
+		ConfigDigest: rep.ConfigDigest, WorkloadDigest: rep.WorkloadDigest,
+		GridSize: rep.GridSize, Baseline: rep.Baseline, Winner: rep.Winner,
+		Prior: rep.Prior, Cells: rep.Cells}
+	f, err := os.Create(benchTuneFile)
+	if err != nil {
+		return fmt.Errorf("-json: %w", err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&snap); err != nil {
+		return fmt.Errorf("-json: %w", err)
+	}
+	fmt.Printf("wrote %s\n", benchTuneFile)
 	return nil
 }
 

@@ -92,6 +92,13 @@
 // whose fingerprint diverges from a reference ledger. See DESIGN.md
 // ("Checkpoint/restore").
 //
+// Determinism also powers the what-if auto-tuner (internal/tune): record one
+// run of a workload, re-simulate the full {protocol x topology x placement x
+// comm} grid as parallel host-level runs (`dsmbench -exp tune [-json]`,
+// cached by fingerprint, ranked by virtual elapsed), and feed the winning
+// cell back as Config.TunedPrior — the adaptive protocol's cold-start
+// evidence. See DESIGN.md ("Protocol auto-tuner").
+//
 // # Quick start
 //
 // Mirroring the paper's Figure 2 (selecting a built-in protocol and sharing

@@ -30,6 +30,9 @@ type (
 	// Histogram is a fixed-grid per-operation latency histogram with
 	// deterministic quantiles (see System.OpHist).
 	Histogram = core.Histogram
+	// HistSummary is the standard digest of one Histogram: grid-valued
+	// quantiles plus exact mean and max.
+	HistSummary = core.HistSummary
 	// NetworkProfile is a calibrated interconnect cost model.
 	NetworkProfile = madeleine.Profile
 	// Topology resolves per-(src,dst) link cost profiles; see
@@ -151,6 +154,25 @@ type Config struct {
 	Recovery RecoveryTuning
 	// Trace enables post-mortem span recording.
 	Trace bool
+	// TunedPrior, when set, feeds a what-if auto-tuner recommendation
+	// (internal/tune) back into the platform: it fills the unset Protocol,
+	// switches on UnbatchedComm/AdaptiveHomes when the sweep's winner used
+	// them (it only ever turns features on — explicit Config fields win),
+	// and installs the page-policy prior the adaptive protocol consults
+	// when it has no live evidence about a page.
+	TunedPrior *TunedPrior
+}
+
+// TunedPrior is the auto-tuner's winning configuration, fed back into a
+// Config. Fields use the tuner's grid vocabulary: Placement is "static",
+// "misplaced" or "adaptive"; Comm is "batched" or "unbatched".
+type TunedPrior struct {
+	Protocol  string `json:"protocol"`
+	Placement string `json:"placement"`
+	Comm      string `json:"comm"`
+	// Workload names the recording the sweep re-simulated, so a prior is
+	// traceable to the run that produced it.
+	Workload string `json:"workload,omitempty"`
 }
 
 // System is a running DSM-PM2 platform instance: a PM2 machine, a DSM with
@@ -190,6 +212,18 @@ func New(cfg Config) (*System, error) {
 	if cfg.Network == nil {
 		cfg.Network = BIPMyrinet
 	}
+	if p := cfg.TunedPrior; p != nil {
+		// The prior fills gaps and turns features on; explicit fields win.
+		if cfg.Protocol == "" {
+			cfg.Protocol = p.Protocol
+		}
+		if p.Comm == "unbatched" {
+			cfg.UnbatchedComm = true
+		}
+		if p.Placement == "adaptive" {
+			cfg.AdaptiveHomes = true
+		}
+	}
 	if cfg.Protocol == "" {
 		cfg.Protocol = "li_hudak"
 	}
@@ -217,13 +251,26 @@ func New(cfg Config) (*System, error) {
 	d.SetBatching(!cfg.UnbatchedComm)
 	s := &System{rt: rt, dsm: d, ids: ids, cfg: cfg}
 	if cfg.Trace {
-		s.tr = trace.NewLog()
+		if rt.Sharded() {
+			// Each kernel shard records into its own span slice (shard
+			// goroutines may not share one append target); reads merge them
+			// in canonical virtual-time order.
+			s.tr = trace.NewShardedLog(rt.Shards())
+		} else {
+			s.tr = trace.NewLog()
+		}
 	}
 	if err := s.SetDefaultProtocol(cfg.Protocol); err != nil {
 		return nil, err
 	}
 	if cfg.AdaptiveHomes {
 		d.EnableProfiler(core.ProfilerConfig{Migrate: true})
+	}
+	if p := cfg.TunedPrior; p != nil && p.Placement != "" {
+		// The sweep evaluated every cell on the page policy's placement
+		// grid and this prior's cell won: tell the adaptive protocol the
+		// page policy is the trusted default when it has no live evidence.
+		d.SetTunedPagePrior(true)
 	}
 	return s, nil
 }

@@ -133,13 +133,13 @@ type FaultOptions struct {
 
 // enableFaultLayers switches on the network fault layer and the DSM recovery
 // manager (idempotently), the shared half of both injection paths.
-func (s *System) enableFaultLayers(seed int64, opts FaultOptions) {
+func (s *System) enableFaultLayers(seed int64, opts FaultOptions) error {
 	if s.rt.Sharded() {
 		// Crash recovery is single-loop machinery: death bookkeeping is
 		// centralized, the flat barrier's participant takeover assumes one
 		// calendar, and the combining-tree barrier (treebar.go) explicitly
-		// routes around recovery. Fail loudly rather than corrupt state.
-		panic(fmt.Sprintf("dsmpm2: fault injection requires Shards <= 1 (got %d shards); crash recovery assumes the single-loop kernel", s.rt.Shards()))
+		// routes around recovery. Refuse loudly rather than corrupt state.
+		return fmt.Errorf("dsmpm2: fault injection requires Shards <= 1 (got %d shards); crash recovery assumes the single-loop kernel", s.rt.Shards())
 	}
 	if !s.rt.Network().FaultsEnabled() {
 		s.rt.EnableFaults(seed, opts.Partition)
@@ -155,6 +155,7 @@ func (s *System) enableFaultLayers(seed int64, opts FaultOptions) {
 			OnRestart:  opts.OnRestart,
 		})
 	}
+	return nil
 }
 
 // InjectFaults arms the system with a fault plan: the network fault layer
@@ -166,12 +167,18 @@ func (s *System) enableFaultLayers(seed int64, opts FaultOptions) {
 // Recovery assumes fail-stop nodes and at least one survivor per page
 // replica set; synchronization managers (lock homes, barrier manager node
 // 0) must be protected nodes — crash them and their state dies for good.
-func (s *System) InjectFaults(plan *FaultPlan, opts FaultOptions) {
+//
+// On a sharded machine (Config.Shards > 1) it returns an error instead of
+// arming anything: crash recovery assumes the single-loop kernel.
+func (s *System) InjectFaults(plan *FaultPlan, opts FaultOptions) error {
 	if plan == nil {
-		return // mirror sim.Engine.InjectFaults: a nil plan is a no-op
+		return nil // mirror sim.Engine.InjectFaults: a nil plan is a no-op
 	}
-	s.enableFaultLayers(plan.Seed, opts)
+	if err := s.enableFaultLayers(plan.Seed, opts); err != nil {
+		return err
+	}
 	s.rt.Engine().InjectFaults(plan, s.applyFault)
+	return nil
 }
 
 // InjectFaultsResumable is InjectFaults through a resumable cursor: instead
@@ -182,16 +189,19 @@ func (s *System) InjectFaults(plan *FaultPlan, opts FaultOptions) {
 // is the injection mode checkpointable runs must use — it is bit-identical
 // to InjectFaults for a single uninterrupted Run — because the cursor's
 // position (unlike a closure queue) serializes into a Checkpoint and resumes.
-func (s *System) InjectFaultsResumable(plan *FaultPlan, opts FaultOptions) {
+func (s *System) InjectFaultsResumable(plan *FaultPlan, opts FaultOptions) error {
 	if plan == nil {
-		return
+		return nil
 	}
-	s.enableFaultLayers(plan.Seed, opts)
+	if err := s.enableFaultLayers(plan.Seed, opts); err != nil {
+		return err
+	}
 	s.faultPlan = plan
 	s.faultOpts = opts
 	// Not armed here: System.Run arms before every phase, and an event queued
 	// outside a Run would spoil the drained safe point a checkpoint needs.
 	s.cursor = s.rt.Engine().NewFaultCursor(plan, s.applyFault)
+	return nil
 }
 
 // applyFault routes one fault event to the layer that implements it.

@@ -7,6 +7,7 @@ package dsmpm2_test
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"dsmpm2"
@@ -168,7 +169,9 @@ func TestFaultLossyDiffLink(t *testing.T) {
 	plan := dsmpm2.NewFaultPlan(21)
 	plan.Loss(at(0), 2, 1, 0.4, 0) // writer 2 -> home 1: drop 40%
 	plan.Loss(at(0), 1, 2, 0.4, 0) // home 1 -> writer 2: drop 40%
-	sys.InjectFaults(plan, dsmpm2.FaultOptions{})
+	if err := sys.InjectFaults(plan, dsmpm2.FaultOptions{}); err != nil {
+		t.Fatal(err)
+	}
 
 	base := sys.MustMalloc(1, dsmpm2.PageSize, &dsmpm2.Attr{Protocol: -1, Home: 1})
 	lock := sys.NewLock(0)
@@ -226,5 +229,38 @@ func TestMTBFPlanDeterministic(t *testing.T) {
 		if ev.Node == 0 {
 			t.Fatalf("protected node 0 appears in plan: %+v", ev)
 		}
+	}
+}
+
+// TestInjectFaultsShardedRejected: fault injection on a sharded kernel must
+// surface as a descriptive error — never a panic — and must not arm any
+// fault layer; the single-shard path is unchanged. (The name carries "Shard"
+// so CI's race step exercises it too.)
+func TestInjectFaultsShardedRejected(t *testing.T) {
+	plan := dsmpm2.NewFaultPlan(3)
+	plan.Crash(at(dsmpm2.Millisecond), 1).Restart(at(2*dsmpm2.Millisecond), 1)
+
+	sharded := dsmpm2.MustNew(dsmpm2.Config{Nodes: 4, Protocol: "hbrc_mw", Seed: 1, Shards: 2})
+	if err := sharded.InjectFaults(plan, dsmpm2.FaultOptions{}); err == nil {
+		t.Fatal("InjectFaults on a 2-shard system returned nil, want an error")
+	} else if !strings.Contains(err.Error(), "Shards <= 1") {
+		t.Fatalf("InjectFaults error %q does not name the Shards <= 1 constraint", err)
+	}
+	if err := sharded.InjectFaultsResumable(plan, dsmpm2.FaultOptions{}); err == nil {
+		t.Fatal("InjectFaultsResumable on a 2-shard system returned nil, want an error")
+	}
+	if got := sharded.FaultStats(); got != (dsmpm2.FaultStats{}) {
+		t.Fatalf("rejected injection armed the fault layer anyway: %+v", got)
+	}
+	if err := sharded.Run(); err != nil {
+		t.Fatalf("system unusable after rejected injection: %v", err)
+	}
+
+	single := dsmpm2.MustNew(dsmpm2.Config{Nodes: 4, Protocol: "hbrc_mw", Seed: 1})
+	if err := single.InjectFaults(plan, dsmpm2.FaultOptions{}); err != nil {
+		t.Fatalf("single-shard InjectFaults: %v", err)
+	}
+	if err := single.InjectFaults(nil, dsmpm2.FaultOptions{}); err != nil {
+		t.Fatalf("nil plan must stay a no-op: %v", err)
 	}
 }

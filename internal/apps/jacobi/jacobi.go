@@ -50,6 +50,9 @@ type Config struct {
 	// AdaptiveHomes enables the access-pattern profiler and dynamic home
 	// migration: misplaced rows move onto their writers at barrier epochs.
 	AdaptiveHomes bool
+	// Trace enables post-mortem span recording (dsmpm2.Config.Trace); the
+	// auto-tuner's recording run and the sharded-trace regression test use it.
+	Trace bool
 
 	// Shards is forwarded to dsmpm2.Config.Shards: 0 and 1 are the
 	// single-loop engine (bit-identical traces), >1 is rejected by the DSM
@@ -145,6 +148,7 @@ func Run(cfg Config) (Result, error) {
 		AdaptiveHomes: cfg.AdaptiveHomes,
 		Recovery:      cfg.Recovery,
 		Shards:        cfg.Shards,
+		Trace:         cfg.Trace,
 	})
 	if err != nil {
 		return Result{}, err
@@ -343,7 +347,7 @@ func runRecoverable(cfg Config, sys *dsmpm2.System) (Result, error) {
 		}
 	}
 
-	sys.InjectFaults(cfg.FaultPlan, dsmpm2.FaultOptions{
+	if err := sys.InjectFaults(cfg.FaultPlan, dsmpm2.FaultOptions{
 		OnRestart: func(node int) {
 			done := lastDone[node]
 			sys.Spawn(node, fmt.Sprintf("jacobi%d.r", node), func(t *dsmpm2.Thread) {
@@ -357,7 +361,9 @@ func runRecoverable(cfg Config, sys *dsmpm2.System) (Result, error) {
 				runWorker(t, node, done+1)
 			})
 		},
-	})
+	}); err != nil {
+		return Result{}, err
+	}
 
 	for node := 0; node < cfg.Nodes; node++ {
 		node := node

@@ -135,7 +135,9 @@ func NewSession(cfg Config) (*Session, error) {
 		return nil, err
 	}
 	if cfg.FaultPlan != nil {
-		sys.InjectFaultsResumable(cfg.FaultPlan, dsmpm2.FaultOptions{OnRestart: s.onRestart})
+		if err := sys.InjectFaultsResumable(cfg.FaultPlan, dsmpm2.FaultOptions{OnRestart: s.onRestart}); err != nil {
+			return nil, err
+		}
 	}
 	return s, nil
 }

@@ -265,6 +265,14 @@ type OpSummary struct {
 	Max   dsmpm2.Duration `json:"max_ns"`
 }
 
+// KeyLatency is the served-latency digest of one hot key. Count is the
+// number of served (not dropped) requests for the key, so under a deadline
+// it can fall short of the trace's request tally for that key.
+type KeyLatency struct {
+	Key int `json:"key"`
+	dsmpm2.HistSummary
+}
+
 // Result reports a run's outcome.
 type Result struct {
 	// Checksum folds the final key/value table; it must match ServeSerial
@@ -278,6 +286,8 @@ type Result struct {
 	Ops []OpSummary
 	// HotKeys are the TopN busiest keys of the trace.
 	HotKeys []HotKey
+	// PerKey is the served-latency digest of each hot key, in HotKeys order.
+	PerKey []KeyLatency
 	// Served and Dropped count completed and deadline-dropped requests;
 	// IdleTicks counts server receive timeouts (idle polls).
 	Served    int64
@@ -394,6 +404,22 @@ func Run(cfg Config) (Result, error) {
 	served := make([]int64, cfg.Nodes)
 	dropped := make([]int64, cfg.Nodes)
 	idleTicks := make([]int64, cfg.Nodes)
+	// Per-key latency for the trace's hot set. The hot keys are a pure
+	// function of the trace, so the set is known before the run; each server
+	// records into its own per-key histograms (per-node tallies, like the
+	// counters above) and the parts merge into one digest per key afterwards.
+	hot := topKeys(tr.perKey, cfg.TopN)
+	hotIdx := make(map[int]int, len(hot))
+	for i, hk := range hot {
+		hotIdx[hk.Key] = i
+	}
+	keyHists := make([][]*dsmpm2.Histogram, cfg.Nodes)
+	for n := range keyHists {
+		keyHists[n] = make([]*dsmpm2.Histogram, len(hot))
+		for i := range keyHists[n] {
+			keyHists[n][i] = new(dsmpm2.Histogram)
+		}
+	}
 	getHist := sys.OpHist("get")
 	putHist := sys.OpHist("put")
 	var dropHist *dsmpm2.Histogram
@@ -472,6 +498,9 @@ func Run(cfg Config) (Result, error) {
 					} else {
 						getHist.Record(t.Now().Sub(m.at))
 					}
+					if hi, ok := hotIdx[m.key]; ok {
+						keyHists[node][hi].Record(t.Now().Sub(m.at))
+					}
 					served[node]++
 				}
 			}
@@ -505,18 +534,26 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	res.Stats = sys.Stats()
-	res.HotKeys = topKeys(tr.perKey, cfg.TopN)
+	res.HotKeys = hot
 	for _, kind := range sys.OpKinds() {
 		h := sys.OpHist(kind).Snapshot()
+		s := h.Summarize()
 		res.Ops = append(res.Ops, OpSummary{
 			Kind:  kind,
-			Count: h.Count(),
-			P50:   h.Quantile(0.50),
-			P95:   h.Quantile(0.95),
-			P99:   h.Quantile(0.99),
-			Mean:  h.Mean(),
-			Max:   h.Max(),
+			Count: s.Count,
+			P50:   s.P50,
+			P95:   s.P95,
+			P99:   s.P99,
+			Mean:  s.Mean,
+			Max:   s.Max,
 		})
+	}
+	for i, hk := range hot {
+		merged := new(dsmpm2.Histogram)
+		for n := 0; n < cfg.Nodes; n++ {
+			merged.Merge(keyHists[n][i])
+		}
+		res.PerKey = append(res.PerKey, KeyLatency{Key: hk.Key, HistSummary: merged.Summarize()})
 	}
 	return res, nil
 }

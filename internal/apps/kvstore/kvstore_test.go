@@ -63,6 +63,20 @@ func TestChecksumMatchesSerialOracle(t *testing.T) {
 			if got := res.Op("get").Count + res.Op("put").Count; got != int64(cfg.Requests) {
 				t.Errorf("histogram counts sum to %d, want %d", got, cfg.Requests)
 			}
+			if len(res.PerKey) != len(res.HotKeys) {
+				t.Fatalf("per-key digests: %d entries for %d hot keys", len(res.PerKey), len(res.HotKeys))
+			}
+			for i, kl := range res.PerKey {
+				// No deadline → every request for a hot key was served, so
+				// the per-key histogram count equals the trace's tally.
+				if kl.Key != res.HotKeys[i].Key || kl.Count != res.HotKeys[i].Count {
+					t.Errorf("per-key digest %d = key %d count %d, want key %d count %d",
+						i, kl.Key, kl.Count, res.HotKeys[i].Key, res.HotKeys[i].Count)
+				}
+				if kl.P50 <= 0 || kl.P99 < kl.P50 || kl.Max < kl.Mean {
+					t.Errorf("per-key digest %d implausible: %+v", i, kl)
+				}
+			}
 		})
 	}
 }
@@ -99,6 +113,15 @@ func TestReplayBitIdentical(t *testing.T) {
 		if a.Ops[i] != b.Ops[i] {
 			t.Errorf("op summary %q differs across replays: %+v vs %+v",
 				a.Ops[i].Kind, a.Ops[i], b.Ops[i])
+		}
+	}
+	if len(a.PerKey) != len(b.PerKey) {
+		t.Fatalf("per-key digests differ in length: %d vs %d", len(a.PerKey), len(b.PerKey))
+	}
+	for i := range a.PerKey {
+		if a.PerKey[i] != b.PerKey[i] {
+			t.Errorf("per-key digest for key %d differs across replays: %+v vs %+v",
+				a.PerKey[i].Key, a.PerKey[i], b.PerKey[i])
 		}
 	}
 }

@@ -44,6 +44,9 @@ type ServeResult struct {
 	Ops []kvstore.OpSummary `json:"ops"`
 	// HotKeys are the trace's busiest keys by request count.
 	HotKeys []kvstore.HotKey `json:"hot_keys"`
+	// PerKey carries each hot key's served-latency digest, in HotKeys
+	// order, merged from the servers' per-node histograms.
+	PerKey []kvstore.KeyLatency `json:"per_key"`
 
 	Served         int64 `json:"served"`
 	Dropped        int64 `json:"dropped"`
@@ -98,6 +101,7 @@ func serveMeasure(adaptive bool, shards int) (ServeResult, error) {
 		VirtualMS:      float64(res.Elapsed) / 1e6,
 		Ops:            res.Ops,
 		HotKeys:        res.HotKeys,
+		PerKey:         res.PerKey,
 		Served:         res.Served,
 		Dropped:        res.Dropped,
 		IdleTicks:      res.IdleTicks,
@@ -139,9 +143,16 @@ func ServeSuite(shards int) (static, adaptive ServeResult, replayIdentical bool,
 	if err != nil {
 		return
 	}
-	replayIdentical = len(replay.Ops) == len(adaptive.Ops)
+	replayIdentical = len(replay.Ops) == len(adaptive.Ops) &&
+		len(replay.PerKey) == len(adaptive.PerKey)
 	for i := range adaptive.Ops {
 		if !replayIdentical || replay.Ops[i] != adaptive.Ops[i] {
+			replayIdentical = false
+			break
+		}
+	}
+	for i := range adaptive.PerKey {
+		if !replayIdentical || replay.PerKey[i] != adaptive.PerKey[i] {
 			replayIdentical = false
 			break
 		}

@@ -1,0 +1,26 @@
+package bench
+
+import "dsmpm2/internal/tune"
+
+// TuneSeed is the pinned recording seed of the tune experiment. Fixing it
+// here (rather than taking a flag) keeps the committed BENCH_tune.json
+// snapshot byte-comparable across machines and runs: the grid's numbers are
+// virtual-time exact, so only the host stanza may differ.
+const TuneSeed = 9
+
+// TuneSuite is the tune experiment's driver: record the workload once under
+// its as-recorded baseline cell, then re-simulate the requested grid subset
+// as parallel host-level runs. The recording carries the baseline the
+// recommendation must beat; the report carries the ranked grid and the
+// feed-back prior.
+func TuneSuite(workload string, opts tune.Options) (*tune.Recording, *tune.Report, error) {
+	rec, err := tune.Record(workload, TuneSeed)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := tune.Sweep(rec, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec, rep, nil
+}

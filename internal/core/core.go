@@ -164,6 +164,12 @@ type DSM struct {
 	// histograms themselves are internally atomic).
 	histMu  sync.Mutex
 	opHists map[string]*Histogram
+
+	// tunedPagePrior records that an offline what-if sweep concluded the
+	// page policy (under the recommended placement) beats thread migration
+	// for this workload. Set before Run; the adaptive protocol's
+	// no-evidence fallback consults it (see protocols/adaptive.go).
+	tunedPagePrior bool
 }
 
 // pageInfo is the allocation-time metadata for a shared page, known on every

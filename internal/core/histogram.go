@@ -148,6 +148,36 @@ func (h *Histogram) Merge(o *Histogram) {
 // extracted from the copy are immune to further recording).
 func (h *Histogram) Snapshot() Histogram { return *h }
 
+// Equal reports whether two histograms hold bit-identical contents — the
+// bucket counts and all exact aggregates. Replay and merge-vs-direct checks
+// use it: histograms built from the same samples compare equal however the
+// samples were partitioned.
+func (h *Histogram) Equal(o *Histogram) bool { return *h == *o }
+
+// HistSummary is the standard latency digest extracted from one histogram:
+// grid-valued quantiles plus the exact-resolution mean and max.
+type HistSummary struct {
+	Count int64        `json:"count"`
+	P50   sim.Duration `json:"p50_ns"`
+	P95   sim.Duration `json:"p95_ns"`
+	P99   sim.Duration `json:"p99_ns"`
+	Mean  sim.Duration `json:"mean_ns"`
+	Max   sim.Duration `json:"max_ns"`
+}
+
+// Summarize digests the histogram. Read it on a quiescent histogram or a
+// Snapshot, like the other readers.
+func (h *Histogram) Summarize() HistSummary {
+	return HistSummary{
+		Count: h.Count(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Mean:  h.Mean(),
+		Max:   h.Max(),
+	}
+}
+
 // HistBucket is one non-empty bucket in a serialized histogram.
 type HistBucket struct {
 	I int   `json:"i"`

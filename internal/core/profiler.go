@@ -203,6 +203,14 @@ func (d *DSM) EnableProfiler(cfg ProfilerConfig) {
 // ProfilerEnabled reports whether the profiler is on.
 func (d *DSM) ProfilerEnabled() bool { return d.prof != nil }
 
+// SetTunedPagePrior installs (or clears) the auto-tuner's verdict that the
+// page policy beats thread migration for this workload. Call before Run,
+// like the other configuration setters.
+func (d *DSM) SetTunedPagePrior(on bool) { d.tunedPagePrior = on }
+
+// TunedPagePrior reports the installed tuner verdict.
+func (d *DSM) TunedPagePrior() bool { return d.tunedPagePrior }
+
 // ProfileEpochs returns the per-epoch classification histograms recorded so
 // far (nil when the profiler is off).
 func (d *DSM) ProfileEpochs() []EpochProfile {

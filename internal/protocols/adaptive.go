@@ -48,9 +48,14 @@ func (p *adaptive) Name() string { return "adaptive" }
 // verdict yet (a workload whose barriers never fold an epoch leaves every
 // page ClassIdle forever): the original ad-hoc write-fault-count criterion,
 // so enabling the profiler can never silently disable thread migration for
-// ping-pong pages the classifier has no evidence about. Page ownership
-// stays wherever li_hudak's mechanics put it, so the probable-owner chain
-// remains intact for both mechanisms.
+// ping-pong pages the classifier has no evidence about — unless an offline
+// what-if sweep installed a tuned prior (DSM.SetTunedPagePrior): the sweep
+// already re-simulated this workload under both mechanisms and the page
+// policy won, so with no live evidence to the contrary the protocol trusts
+// the sweep and skips speculative thread migration. Live epoch evidence
+// (ClassMigratory above) still overrides the prior. Page ownership stays
+// wherever li_hudak's mechanics put it, so the probable-owner chain remains
+// intact for both mechanisms.
 func (p *adaptive) WriteFaultHandler(f *core.Fault) {
 	if p.d.ProfilerEnabled() {
 		switch class, _ := core.Classification(p.d, f.Page); class {
@@ -63,6 +68,10 @@ func (p *adaptive) WriteFaultHandler(f *core.Fault) {
 			p.liHudak.WriteFaultHandler(f)
 			return
 		}
+	}
+	if p.d.TunedPagePrior() {
+		p.liHudak.WriteFaultHandler(f)
+		return
 	}
 	cnt := p.writeFaults[f.Node]
 	cnt[f.Page]++

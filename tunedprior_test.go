@@ -1,0 +1,43 @@
+package dsmpm2_test
+
+import (
+	"testing"
+
+	"dsmpm2"
+)
+
+// TestTunedPriorFillsConfig: a what-if sweep's recommendation fed back via
+// Config.TunedPrior must configure the platform like the winning cell —
+// protocol default, unbatched comm, adaptive placement — and install the
+// page-policy prior for the adaptive protocol. Explicit fields still win.
+func TestTunedPriorFillsConfig(t *testing.T) {
+	prior := &dsmpm2.TunedPrior{
+		Protocol: "hbrc_mw", Placement: "adaptive", Comm: "unbatched", Workload: "jacobi",
+	}
+	sys := dsmpm2.MustNew(dsmpm2.Config{Nodes: 2, Seed: 1, TunedPrior: prior})
+	d := sys.DSM()
+	if want, _ := sys.Protocol("hbrc_mw"); d.DefaultProtocol() != want {
+		t.Errorf("default protocol %v, want hbrc_mw (%v)", d.DefaultProtocol(), want)
+	}
+	if d.BatchingEnabled() {
+		t.Error("prior's unbatched comm was not applied")
+	}
+	if !d.ProfilerEnabled() {
+		t.Error("prior's adaptive placement did not enable the profiler")
+	}
+	if !d.TunedPagePrior() {
+		t.Error("page-policy prior not installed")
+	}
+
+	// An explicit protocol beats the prior's.
+	sys = dsmpm2.MustNew(dsmpm2.Config{Nodes: 2, Seed: 1, Protocol: "erc_sw", TunedPrior: prior})
+	if want, _ := sys.Protocol("erc_sw"); sys.DSM().DefaultProtocol() != want {
+		t.Errorf("explicit protocol overridden by the prior")
+	}
+
+	// No prior: nothing installed.
+	sys = dsmpm2.MustNew(dsmpm2.Config{Nodes: 2, Seed: 1})
+	if sys.DSM().TunedPagePrior() {
+		t.Error("page-policy prior installed without a TunedPrior")
+	}
+}
